@@ -1,0 +1,124 @@
+//! Index Tuning Wizard (SQL Server 2000) as a baseline.
+
+use dta_core::session::TuneError;
+use dta_core::{tune, FeatureSet, TuningOptions, TuningResult};
+use dta_server::TuningTarget;
+use dta_workload::Workload;
+
+/// Tuning options approximating ITW for SQL Server 2000:
+///
+/// * indexes + materialized views only (no partitioning — ITW predates
+///   SQL Server 2005's partitioning support);
+/// * no workload compression: every statement is tuned;
+/// * no column-group restriction: all column-groups considered;
+/// * plain greedy per-query search (Greedy(1, k));
+/// * naive statistics creation (no §5.2 reduction).
+pub fn itw_options() -> TuningOptions {
+    TuningOptions {
+        features: FeatureSet::indexes_and_views(),
+        compress: false,
+        reduce_statistics: false,
+        colgroup_cost_threshold: 0.0,
+        greedy_m: 1,
+        ..Default::default()
+    }
+}
+
+/// Run the ITW baseline.
+pub fn tune_itw(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    storage_bytes: Option<u64>,
+) -> Result<TuningResult, TuneError> {
+    let options = TuningOptions { storage_bytes, ..itw_options() };
+    tune(target, workload, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::{Column, ColumnType, Database, Table, Value};
+    use dta_physical::PhysicalStructure;
+    use dta_server::Server;
+    use dta_sql::parse_statement;
+    use dta_workload::WorkloadItem;
+
+    fn setup() -> (Server, Workload) {
+        let mut server = Server::new("s");
+        let mut db = Database::new("d");
+        db.add_table(
+            Table::new(
+                "t",
+                vec![
+                    Column::new("k", ColumnType::BigInt),
+                    Column::new("a", ColumnType::Int),
+                    Column::new("d", ColumnType::Int),
+                    Column::new("pad", ColumnType::Str(60)),
+                ],
+            )
+            .with_primary_key(&["k"]),
+        )
+        .unwrap();
+        server.create_database(db).unwrap();
+        let data = server.table_data_mut("d", "t").unwrap();
+        for i in 0..30_000i64 {
+            data.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 700),
+                Value::Int(i % 11),
+                Value::Str(format!("{i:060}")),
+            ]);
+        }
+        data.set_scale(30.0);
+        // a templatized workload (compressible — but ITW won't)
+        let mut items = Vec::new();
+        for i in 0..60 {
+            items.push(WorkloadItem::new(
+                "d",
+                parse_statement(&format!("SELECT pad FROM t WHERE a = {}", i * 11 % 700))
+                    .unwrap(),
+            ));
+        }
+        (server, Workload::from_items(items))
+    }
+
+    #[test]
+    fn itw_improves_but_tunes_everything() {
+        let (server, workload) = setup();
+        let target = TuningTarget::Single(&server);
+        let itw = tune_itw(&target, &workload, None).unwrap();
+        assert!(itw.expected_improvement() > 0.5);
+        // no compression: every statement tuned
+        assert_eq!(itw.statements_tuned, workload.len());
+        // no partitioning ever
+        for s in itw.recommendation.iter() {
+            assert!(!matches!(s, PhysicalStructure::TablePartitioning { .. }));
+            if let PhysicalStructure::Index(ix) = s {
+                assert!(ix.partitioning.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn dta_is_faster_on_templatized_workloads() {
+        let (server, workload) = setup();
+        let target = TuningTarget::Single(&server);
+        server.reset_overhead();
+        let itw = tune_itw(&target, &workload, None).unwrap();
+        let itw_work = itw.tuning_work_units;
+        let dta = dta_core::tune(
+            &target,
+            &workload,
+            &dta_core::TuningOptions { parallel_workers: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            dta.tuning_work_units < itw_work * 0.5,
+            "DTA {} !< 0.5 x ITW {}",
+            dta.tuning_work_units,
+            itw_work
+        );
+        // quality comparable (DTA at least as good, within noise)
+        assert!(dta.expected_improvement() >= itw.expected_improvement() - 0.05);
+    }
+}

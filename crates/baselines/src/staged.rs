@@ -1,0 +1,186 @@
+//! Staged physical design selection — the §3 strawman.
+//!
+//! Example 2: a staged solution that first selects the best clustered
+//! index and only then considers partitioning can never discover that
+//! the optimum is "clustered index on A *and* range partitioning on X",
+//! because stage 1 grabs X for the clustered index. Integrated selection
+//! considers the features together.
+
+use dta_core::session::TuneError;
+use dta_core::{tune, FeatureSet, TuningOptions, TuningResult};
+use dta_physical::Configuration;
+use dta_server::TuningTarget;
+use dta_workload::Workload;
+
+/// One stage: which features this stage may pick.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePlan {
+    pub features: FeatureSet,
+    /// Storage budget for this stage (the ad-hoc split the paper calls
+    /// out: "how to divide up the overall storage ... for each step").
+    pub storage_bytes: Option<u64>,
+}
+
+/// Tune in stages: each stage's recommendation becomes a fixed
+/// user-specified configuration for the next. Returns the final result
+/// with work metrics accumulated across stages.
+pub fn tune_staged(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    stages: &[StagePlan],
+    base_options: &TuningOptions,
+) -> Result<TuningResult, TuneError> {
+    assert!(!stages.is_empty(), "at least one stage");
+    let raw = target.whatif_server().raw_configuration();
+    let mut fixed: Option<Configuration> = base_options.user_specified.clone();
+    let mut last: Option<TuningResult> = None;
+    let mut total_whatif = 0usize;
+    let mut total_evals = 0usize;
+    let mut total_units = 0.0f64;
+
+    for stage in stages {
+        let options = TuningOptions {
+            features: stage.features,
+            storage_bytes: stage.storage_bytes,
+            user_specified: fixed.clone(),
+            ..base_options.clone()
+        };
+        let result = tune(target, workload, &options)?;
+        total_whatif += result.whatif_calls;
+        total_evals += result.evaluations;
+        total_units += result.tuning_work_units;
+        // everything chosen so far (beyond constraints) is frozen
+        let chosen: Configuration = result
+            .recommendation
+            .difference(&raw)
+            .into_iter()
+            .cloned()
+            .collect();
+        fixed = Some(chosen);
+        last = Some(result);
+    }
+
+    let mut result = last.expect("at least one stage ran");
+    result.whatif_calls = total_whatif;
+    result.evaluations = total_evals;
+    result.tuning_work_units = total_units;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::{Column, ColumnType, Database, Table, Value};
+    use dta_server::Server;
+    use dta_sql::parse_statement;
+    use dta_workload::WorkloadItem;
+
+    /// The Example-1/Example-2 setting: SELECT A, COUNT(*) FROM T WHERE
+    /// X < c GROUP BY A, where both clustering and partitioning compete
+    /// for column X.
+    fn setup() -> (Server, Workload) {
+        let mut server = Server::new("s");
+        let mut db = Database::new("d");
+        db.add_table(Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("x", ColumnType::Int),
+                Column::new("pad", ColumnType::Str(60)),
+            ],
+        ))
+        .unwrap();
+        server.create_database(db).unwrap();
+        let data = server.table_data_mut("d", "t").unwrap();
+        for i in 0..50_000i64 {
+            data.push_row(vec![
+                Value::Int(i % 200),
+                Value::Int(i % 1000),
+                Value::Str(format!("{i:060}")),
+            ]);
+        }
+        data.set_scale(40.0);
+        let mut items = Vec::new();
+        for i in 0..12 {
+            items.push(WorkloadItem::new(
+                "d",
+                parse_statement(&format!(
+                    "SELECT a, COUNT(*) FROM t WHERE x < {} GROUP BY a",
+                    100 + i * 50
+                ))
+                .unwrap(),
+            ));
+        }
+        (server, Workload::from_items(items))
+    }
+
+    #[test]
+    fn integrated_beats_or_matches_staged() {
+        let (server, workload) = setup();
+        let target = TuningTarget::Single(&server);
+        let base = TuningOptions {
+            parallel_workers: 1,
+            features: FeatureSet { indexes: true, views: false, partitioning: true },
+            ..Default::default()
+        };
+
+        // staged: clustered/indexes first, then partitioning
+        let staged = tune_staged(
+            &target,
+            &workload,
+            &[
+                StagePlan {
+                    features: FeatureSet::indexes_only(),
+                    storage_bytes: None,
+                },
+                StagePlan {
+                    features: FeatureSet { indexes: false, views: false, partitioning: true },
+                    storage_bytes: None,
+                },
+            ],
+            &base,
+        )
+        .unwrap();
+
+        // integrated: both features together
+        let integrated = tune(&target, &workload, &base).unwrap();
+
+        let q = |r: &TuningResult| {
+            dta_core::workload_cost(&target, &workload, &r.recommendation).unwrap()
+        };
+        let staged_cost = q(&staged);
+        let integrated_cost = q(&integrated);
+        assert!(
+            integrated_cost <= staged_cost * 1.001,
+            "integrated {integrated_cost} should not lose to staged {staged_cost}"
+        );
+    }
+
+    #[test]
+    fn staged_stages_accumulate_metrics() {
+        let (server, workload) = setup();
+        let target = TuningTarget::Single(&server);
+        let base = TuningOptions { parallel_workers: 1, ..Default::default() };
+        let one = tune(&target, &workload, &base).unwrap();
+        let two = tune_staged(
+            &target,
+            &workload,
+            &[
+                StagePlan { features: FeatureSet::indexes_only(), storage_bytes: None },
+                StagePlan { features: FeatureSet::all(), storage_bytes: None },
+            ],
+            &base,
+        )
+        .unwrap();
+        assert!(two.whatif_calls > one.whatif_calls / 2);
+        assert!(two.tuning_work_units > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stages_panics() {
+        let (server, workload) = setup();
+        let target = TuningTarget::Single(&server);
+        let _ = tune_staged(&target, &workload, &[], &TuningOptions::default());
+    }
+}

@@ -1,0 +1,42 @@
+//! §4 ablation: lazy vs eager alignment-candidate introduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::advisor::{tune, AlignmentMode, TuningOptions};
+use dta::prelude::*;
+use dta::workload::tpch;
+use dta_bench::{alignment_ablation, pct, RunScale};
+
+fn bench(c: &mut Criterion) {
+    let r = alignment_ablation(RunScale::quick());
+    println!(
+        "--- §4 ablation (quick): lazy pool {} / {:.0} units vs eager pool {} / {:.0} units; quality {:.1}% vs {:.1}% ---",
+        r.lazy_pool,
+        r.lazy_work_units,
+        r.eager_pool,
+        r.eager_work_units,
+        pct(r.lazy_quality),
+        pct(r.eager_quality)
+    );
+
+    let server = tpch::build_server(tpch::TpchScale::tiny(), 42);
+    let workload = tpch::workload();
+    let mut g = c.benchmark_group("alignment");
+    g.sample_size(10);
+    for (label, mode) in [("lazy", AlignmentMode::Lazy), ("eager", AlignmentMode::Eager)] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let target = TuningTarget::Single(&server);
+                tune(
+                    &target,
+                    &workload,
+                    &TuningOptions { alignment: mode, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

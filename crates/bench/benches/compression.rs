@@ -1,0 +1,31 @@
+//! Table 3: workload compression. Prints the regenerated table once,
+//! then times the compression algorithm itself on a SYNT1 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::prelude::*;
+use dta::workload::synt1;
+use dta_bench::{pct, table3, RunScale};
+
+fn bench(c: &mut Criterion) {
+    println!("--- Table 3 (quick scale) ---");
+    for r in table3(RunScale::quick()) {
+        println!(
+            "{:<7} loss {:>4.1}% (paper {:>4.1}%)  speedup {:>5.1}x (paper {:>5.1}x)",
+            r.name,
+            pct(r.quality_loss),
+            pct(r.paper_quality_loss),
+            r.speedup,
+            r.paper_speedup
+        );
+    }
+
+    let b = synt1::build(0.5, 7); // 4000 statements
+    let mut g = c.benchmark_group("compression");
+    g.bench_function("compress_4000_stmts", |bench| {
+        bench.iter(|| compress(&b.workload, CompressionOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

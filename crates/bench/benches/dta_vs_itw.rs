@@ -1,0 +1,43 @@
+//! Figures 4 & 5: DTA vs the SQL Server 2000 Index Tuning Wizard.
+//! Prints the regenerated comparison once, then times both tools on a
+//! small PSOFT workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::advisor::{tune, TuningOptions};
+use dta::baselines::tune_itw;
+use dta::prelude::*;
+use dta::workload::psoft;
+use dta_bench::{dta_vs_itw, pct, RunScale};
+
+fn bench(c: &mut Criterion) {
+    println!("--- Figures 4 & 5 (quick scale) ---");
+    for r in dta_vs_itw(RunScale::quick()) {
+        println!(
+            "{:<7} quality DTA {:>5.1}% vs ITW {:>5.1}%;  DTA time = {:>4.0}% of ITW",
+            r.name,
+            pct(r.dta_quality),
+            pct(r.itw_quality),
+            pct(r.dta_time_fraction())
+        );
+    }
+
+    let b = psoft::build(0.05, 42);
+    let mut g = c.benchmark_group("dta_vs_itw");
+    g.sample_size(10);
+    g.bench_function("dta_psoft300", |bench| {
+        bench.iter(|| {
+            let target = TuningTarget::Single(&b.server);
+            tune(&target, &b.workload, &TuningOptions::default()).unwrap()
+        })
+    });
+    g.bench_function("itw_psoft300", |bench| {
+        bench.iter(|| {
+            let target = TuningTarget::Single(&b.server);
+            tune_itw(&target, &b.workload, None).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

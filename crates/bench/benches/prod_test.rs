@@ -1,0 +1,35 @@
+//! Figure 3: production-server overhead with and without a test server.
+//! Prints the regenerated bars once, then times the metadata+statistics
+//! import that makes the scenario possible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::prelude::*;
+use dta::workload::tpch;
+use dta_bench::{figure3, pct, RunScale};
+
+fn bench(c: &mut Criterion) {
+    println!("--- Figure 3 (quick scale) ---");
+    for r in figure3(RunScale::quick()) {
+        println!(
+            "{:<10} reduction {:>4.0}% (paper {:>4.0}%)",
+            r.label,
+            pct(r.reduction),
+            pct(r.paper_reduction)
+        );
+    }
+
+    let production = tpch::build_server(tpch::TpchScale::tiny(), 42);
+    let mut g = c.benchmark_group("prod_test");
+    g.sample_size(10);
+    g.bench_function("prepare_test_server", |bench| {
+        bench.iter(|| {
+            let mut test = Server::new("test");
+            prepare_test_server(&production, &mut test).unwrap();
+            test
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

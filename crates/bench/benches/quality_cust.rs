@@ -1,0 +1,37 @@
+//! Table 2: DTA vs hand-tuned quality on the customer workloads.
+//! Prints the regenerated table once, then times tuning of the smallest
+//! customer workload (CUST4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::advisor::{tune, TuningOptions};
+use dta::prelude::*;
+use dta::workload::cust::{build, CustId};
+use dta_bench::{pct, table2, RunScale};
+
+fn bench(c: &mut Criterion) {
+    println!("--- Table 2 (quick scale) ---");
+    for r in table2(RunScale::quick()) {
+        println!(
+            "{:<7} hand {:>5.1}% (paper {:>5.1}%)  DTA {:>5.1}% (paper {:>5.1}%)",
+            r.name,
+            pct(r.quality_hand),
+            pct(r.paper_quality_hand),
+            pct(r.quality_dta),
+            pct(r.paper_quality_dta)
+        );
+    }
+
+    let b = build(CustId::Cust4, 0.02, 42);
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("tune_cust4", |bench| {
+        bench.iter(|| {
+            let target = TuningTarget::Single(&b.server);
+            tune(&target, &b.workload, &TuningOptions::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

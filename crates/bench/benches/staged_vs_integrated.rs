@@ -1,0 +1,39 @@
+//! §3 Example 2 ablation: integrated vs staged feature selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::advisor::{tune, FeatureSet, TuningOptions};
+use dta::prelude::*;
+use dta::workload::tpch;
+use dta_bench::{pct, staged_vs_integrated, RunScale};
+
+fn bench(c: &mut Criterion) {
+    let r = staged_vs_integrated(RunScale::quick());
+    println!(
+        "--- §3 ablation (quick): integrated {:>5.1}% vs staged {:>5.1}% ---",
+        pct(r.integrated_quality),
+        pct(r.staged_quality)
+    );
+
+    let server = tpch::build_server(tpch::TpchScale::tiny(), 42);
+    let workload = tpch::workload();
+    let mut g = c.benchmark_group("staged");
+    g.sample_size(10);
+    g.bench_function("integrated_tpch", |bench| {
+        bench.iter(|| {
+            let target = TuningTarget::Single(&server);
+            tune(
+                &target,
+                &workload,
+                &TuningOptions {
+                    features: FeatureSet { indexes: true, views: false, partitioning: true },
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

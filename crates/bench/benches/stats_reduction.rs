@@ -1,0 +1,45 @@
+//! §7.5: reduced statistics creation. Prints the regenerated rows once,
+//! then times the greedy H-List/D-List covering on a large request set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::stats::{reduce_statistics, StatKey, StatisticsManager};
+use dta_bench::{pct, stats_reduction, RunScale};
+
+fn bench(c: &mut Criterion) {
+    println!("--- §7.5 (quick scale) ---");
+    for r in stats_reduction(RunScale::quick()) {
+        println!(
+            "{:<7} count -{:>3.0}% (paper -{:>3.0}%)  time -{:>3.0}% (paper -{:>3.0}%)  Δqual {:>4.2}%",
+            r.name,
+            pct(r.count_reduction()),
+            pct(r.paper_count_reduction),
+            pct(r.time_reduction()),
+            pct(r.paper_time_reduction),
+            pct(r.quality_delta)
+        );
+    }
+
+    // a realistic request set: all prefixes/permutation-pairs over 8
+    // columns of 20 tables
+    let cols = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    let mut required = Vec::new();
+    for t in 0..20 {
+        let table = format!("t{t}");
+        for i in 0..cols.len() {
+            required.push(StatKey::new("db", &table, &[cols[i]]));
+            for j in 0..cols.len() {
+                if i != j {
+                    required.push(StatKey::new("db", &table, &[cols[i], cols[j]]));
+                }
+            }
+        }
+    }
+    let mut g = c.benchmark_group("stats_reduction");
+    g.bench_function("greedy_cover_1280_keys", |bench| {
+        bench.iter(|| reduce_statistics(&required, &StatisticsManager::new()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §7.2: TPC-H estimated vs actual improvement. Prints the regenerated
+//! numbers once, then times a single TPC-H tuning pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dta::advisor::{tune, TuningOptions};
+use dta::prelude::*;
+use dta::workload::tpch;
+use dta_bench::{pct, tpch_quality, RunScale};
+
+fn bench(c: &mut Criterion) {
+    let r = tpch_quality(RunScale::quick());
+    println!(
+        "--- §7.2 (quick): expected {:>5.1}% (paper 88%)  actual {:>5.1}% (paper 83%) ---",
+        pct(r.expected_improvement),
+        pct(r.actual_improvement)
+    );
+
+    let server = tpch::build_server(tpch::TpchScale::tiny(), 42);
+    let workload = tpch::workload();
+    let mut g = c.benchmark_group("tpch");
+    g.sample_size(10);
+    g.bench_function("tune_22_queries", |bench| {
+        bench.iter(|| {
+            let target = TuningTarget::Single(&server);
+            tune(&target, &workload, &TuningOptions::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

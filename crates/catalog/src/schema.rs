@@ -1,0 +1,345 @@
+//! Databases, tables, columns and constraints.
+
+use crate::types::ColumnType;
+use crate::{CatalogError, Result};
+use std::collections::BTreeMap;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, lower-cased.
+    pub name: String,
+    /// Logical type (carries the average width).
+    pub ty: ColumnType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Non-nullable column shorthand.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into().to_ascii_lowercase(), ty, nullable: false }
+    }
+
+    /// Nullable column shorthand.
+    pub fn nullable(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into().to_ascii_lowercase(), ty, nullable: true }
+    }
+}
+
+/// A foreign-key constraint from this table to a parent table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns in the child table.
+    pub columns: Vec<String>,
+    /// Referenced (parent) table.
+    pub parent_table: String,
+    /// Referenced columns in the parent (its primary key).
+    pub parent_columns: Vec<String>,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name, lower-cased.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Primary-key columns (empty = no primary key). The raw configuration
+    /// keeps the index that enforces this key.
+    pub primary_key: Vec<String>,
+    /// Foreign keys to parent tables.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Table {
+    /// New table with no constraints.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self {
+            name: name.into().to_ascii_lowercase(),
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Builder-style: set the primary key.
+    pub fn with_primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|c| c.to_ascii_lowercase()).collect();
+        self
+    }
+
+    /// Builder-style: add a foreign key.
+    pub fn with_foreign_key(mut self, cols: &[&str], parent: &str, parent_cols: &[&str]) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            columns: cols.iter().map(|c| c.to_ascii_lowercase()).collect(),
+            parent_table: parent.to_ascii_lowercase(),
+            parent_columns: parent_cols.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        });
+        self
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Position of a column in declaration order.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// True if the table has a column with this name.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column(name).is_some()
+    }
+
+    /// Sum of column widths — the average row width in bytes.
+    pub fn row_width(&self) -> u32 {
+        self.columns.iter().map(|c| c.ty.width()).sum()
+    }
+
+    /// Validate internal consistency (PK/FK columns exist, arities match).
+    pub fn validate(&self) -> Result<()> {
+        for pk in &self.primary_key {
+            if !self.has_column(pk) {
+                return Err(CatalogError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: pk.clone(),
+                });
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.columns.len() != fk.parent_columns.len() {
+                return Err(CatalogError::InvalidConstraint(format!(
+                    "foreign key on '{}' has mismatched arity",
+                    self.name
+                )));
+            }
+            for c in &fk.columns {
+                if !self.has_column(c) {
+                    return Err(CatalogError::UnknownColumn {
+                        table: self.name.clone(),
+                        column: c.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A database: a named collection of tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    /// Database name, lower-cased.
+    pub name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into().to_ascii_lowercase(), tables: BTreeMap::new() }
+    }
+
+    /// Add a table; errors if one with the same name exists or the table
+    /// is internally inconsistent.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        table.validate()?;
+        if self.tables.contains_key(&table.name) {
+            return Err(CatalogError::AlreadyExists(table.name));
+        }
+        self.tables.insert(table.name.clone(), table);
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table, producing a catalog error if missing.
+    pub fn table_required(&self, name: &str) -> Result<&Table> {
+        self.table(name).ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterate over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Cross-table validation: every FK parent exists and its columns
+    /// exist in the parent.
+    pub fn validate(&self) -> Result<()> {
+        for t in self.tables.values() {
+            t.validate()?;
+            for fk in &t.foreign_keys {
+                let parent = self.table_required(&fk.parent_table)?;
+                for pc in &fk.parent_columns {
+                    if !parent.has_column(pc) {
+                        return Err(CatalogError::UnknownColumn {
+                            table: parent.name.clone(),
+                            column: pc.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A catalog: the set of databases on a server. DTA can tune workloads
+/// that span multiple databases simultaneously (§2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    databases: BTreeMap<String, Database>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a database; errors on duplicates.
+    pub fn add_database(&mut self, db: Database) -> Result<()> {
+        if self.databases.contains_key(&db.name) {
+            return Err(CatalogError::AlreadyExists(db.name));
+        }
+        self.databases.insert(db.name.clone(), db);
+        Ok(())
+    }
+
+    /// Look up a database.
+    pub fn database(&self, name: &str) -> Option<&Database> {
+        self.databases.get(name)
+    }
+
+    /// Look up a database, producing an error if missing.
+    pub fn database_required(&self, name: &str) -> Result<&Database> {
+        self.database(name).ok_or_else(|| CatalogError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Mutable database lookup.
+    pub fn database_mut(&mut self, name: &str) -> Option<&mut Database> {
+        self.databases.get_mut(name)
+    }
+
+    /// Iterate databases in name order.
+    pub fn databases(&self) -> impl Iterator<Item = &Database> {
+        self.databases.values()
+    }
+
+    /// Number of databases.
+    pub fn database_count(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// Total number of tables across all databases.
+    pub fn total_table_count(&self) -> usize {
+        self.databases.values().map(|d| d.table_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_orders() -> Table {
+        Table::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", ColumnType::BigInt),
+                Column::new("o_custkey", ColumnType::BigInt),
+                Column::new("o_totalprice", ColumnType::Float),
+                Column::nullable("o_comment", ColumnType::Str(40)),
+            ],
+        )
+        .with_primary_key(&["o_orderkey"])
+        .with_foreign_key(&["o_custkey"], "customer", &["c_custkey"])
+    }
+
+    #[test]
+    fn table_basics() {
+        let t = t_orders();
+        assert!(t.has_column("o_custkey"));
+        assert_eq!(t.column_index("o_totalprice"), Some(2));
+        assert_eq!(t.row_width(), 8 + 8 + 8 + 40);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let t = Table::new("Orders", vec![Column::new("O_OrderKey", ColumnType::Int)]);
+        assert_eq!(t.name, "orders");
+        assert!(t.has_column("o_orderkey"));
+    }
+
+    #[test]
+    fn bad_primary_key_rejected() {
+        let t = Table::new("t", vec![Column::new("a", ColumnType::Int)])
+            .with_primary_key(&["nope"]);
+        assert!(matches!(t.validate(), Err(CatalogError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn fk_arity_mismatch_rejected() {
+        let mut t = Table::new("t", vec![Column::new("a", ColumnType::Int)]);
+        t.foreign_keys.push(ForeignKey {
+            columns: vec!["a".into()],
+            parent_table: "p".into(),
+            parent_columns: vec!["x".into(), "y".into()],
+        });
+        assert!(matches!(t.validate(), Err(CatalogError::InvalidConstraint(_))));
+    }
+
+    #[test]
+    fn database_validation_checks_fk_targets() {
+        let mut db = Database::new("db");
+        db.add_table(t_orders()).unwrap();
+        // parent table "customer" missing
+        assert!(matches!(db.validate(), Err(CatalogError::UnknownTable(_))));
+        db.add_table(
+            Table::new("customer", vec![Column::new("c_custkey", ColumnType::BigInt)])
+                .with_primary_key(&["c_custkey"]),
+        )
+        .unwrap();
+        assert!(db.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_objects_rejected() {
+        let mut db = Database::new("db");
+        db.add_table(Table::new("t", vec![Column::new("a", ColumnType::Int)])).unwrap();
+        assert!(matches!(
+            db.add_table(Table::new("t", vec![Column::new("a", ColumnType::Int)])),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+        let mut cat = Catalog::new();
+        cat.add_database(db.clone()).unwrap();
+        assert!(matches!(cat.add_database(db), Err(CatalogError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn catalog_counts() {
+        let mut cat = Catalog::new();
+        let mut db1 = Database::new("a");
+        db1.add_table(Table::new("t1", vec![Column::new("x", ColumnType::Int)])).unwrap();
+        db1.add_table(Table::new("t2", vec![Column::new("x", ColumnType::Int)])).unwrap();
+        let mut db2 = Database::new("b");
+        db2.add_table(Table::new("t3", vec![Column::new("x", ColumnType::Int)])).unwrap();
+        cat.add_database(db1).unwrap();
+        cat.add_database(db2).unwrap();
+        assert_eq!(cat.database_count(), 2);
+        assert_eq!(cat.total_table_count(), 3);
+        assert!(cat.database_required("a").is_ok());
+        assert!(cat.database_required("zzz").is_err());
+    }
+}

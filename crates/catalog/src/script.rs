@@ -1,0 +1,202 @@
+//! Metadata scripting: export a database's schema *without data* and
+//! re-import it elsewhere.
+//!
+//! This is the Step-1 facility of the production/test-server scenario
+//! (§5.3): "Copy the metadata of the databases one wants to tune from the
+//! production server to the test server. We do not import the actual data
+//! from any tables." The script format is a simple line-oriented text
+//! format (one `table`/`column`/`pk`/`fk` record per line) mirroring how
+//! real servers script out `CREATE TABLE` statements; it is deliberately
+//! independent of the XML schema used for DTA input/output.
+
+use crate::schema::{Column, Database, ForeignKey, Table};
+use crate::types::ColumnType;
+use crate::{CatalogError, Result};
+
+/// A scripted database schema, cheap to ship between servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataScript {
+    /// The script text.
+    pub text: String,
+}
+
+impl MetadataScript {
+    /// Script out a database's metadata.
+    pub fn export(db: &Database) -> Self {
+        let mut text = String::new();
+        text.push_str(&format!("database {}\n", db.name));
+        for t in db.tables() {
+            text.push_str(&format!("table {}\n", t.name));
+            for c in &t.columns {
+                text.push_str(&format!(
+                    "column {} {} {}\n",
+                    c.name,
+                    c.ty.type_name(),
+                    if c.nullable { "null" } else { "notnull" }
+                ));
+            }
+            if !t.primary_key.is_empty() {
+                text.push_str(&format!("pk {}\n", t.primary_key.join(",")));
+            }
+            for fk in &t.foreign_keys {
+                text.push_str(&format!(
+                    "fk {} -> {} {}\n",
+                    fk.columns.join(","),
+                    fk.parent_table,
+                    fk.parent_columns.join(",")
+                ));
+            }
+        }
+        Self { text }
+    }
+
+    /// Re-create a database from a script.
+    pub fn import(&self) -> Result<Database> {
+        let mut db: Option<Database> = None;
+        let mut current: Option<Table> = None;
+
+        fn flush(db: &mut Option<Database>, current: &mut Option<Table>) -> Result<()> {
+            if let Some(t) = current.take() {
+                db.as_mut()
+                    .ok_or_else(|| CatalogError::InvalidConstraint("table before database".into()))?
+                    .add_table(t)?;
+            }
+            Ok(())
+        }
+
+        for line in self.text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| CatalogError::InvalidConstraint(format!("bad line '{line}'")))?;
+            match kind {
+                "database" => {
+                    flush(&mut db, &mut current)?;
+                    db = Some(Database::new(rest));
+                }
+                "table" => {
+                    flush(&mut db, &mut current)?;
+                    current = Some(Table::new(rest, Vec::new()));
+                }
+                "column" => {
+                    let t = current.as_mut().ok_or_else(|| {
+                        CatalogError::InvalidConstraint("column outside table".into())
+                    })?;
+                    let mut parts = rest.split(' ');
+                    let name = parts.next().unwrap_or_default();
+                    let ty = parts
+                        .next()
+                        .and_then(ColumnType::parse_type_name)
+                        .ok_or_else(|| {
+                            CatalogError::InvalidConstraint(format!("bad column line '{line}'"))
+                        })?;
+                    let nullable = parts.next() == Some("null");
+                    let col = if nullable {
+                        Column::nullable(name, ty)
+                    } else {
+                        Column::new(name, ty)
+                    };
+                    t.columns.push(col);
+                }
+                "pk" => {
+                    let t = current.as_mut().ok_or_else(|| {
+                        CatalogError::InvalidConstraint("pk outside table".into())
+                    })?;
+                    t.primary_key = rest.split(',').map(str::to_string).collect();
+                }
+                "fk" => {
+                    let t = current.as_mut().ok_or_else(|| {
+                        CatalogError::InvalidConstraint("fk outside table".into())
+                    })?;
+                    // format: cols -> parent parent_cols
+                    let (cols, tail) = rest.split_once(" -> ").ok_or_else(|| {
+                        CatalogError::InvalidConstraint(format!("bad fk line '{line}'"))
+                    })?;
+                    let (parent, parent_cols) = tail.split_once(' ').ok_or_else(|| {
+                        CatalogError::InvalidConstraint(format!("bad fk line '{line}'"))
+                    })?;
+                    t.foreign_keys.push(ForeignKey {
+                        columns: cols.split(',').map(str::to_string).collect(),
+                        parent_table: parent.to_string(),
+                        parent_columns: parent_cols.split(',').map(str::to_string).collect(),
+                    });
+                }
+                other => {
+                    return Err(CatalogError::InvalidConstraint(format!(
+                        "unknown record kind '{other}'"
+                    )))
+                }
+            }
+        }
+        flush(&mut db, &mut current)?;
+        db.ok_or_else(|| CatalogError::InvalidConstraint("empty script".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("shop");
+        db.add_table(
+            Table::new(
+                "customer",
+                vec![
+                    Column::new("c_custkey", ColumnType::BigInt),
+                    Column::nullable("c_name", ColumnType::Str(25)),
+                ],
+            )
+            .with_primary_key(&["c_custkey"]),
+        )
+        .unwrap();
+        db.add_table(
+            Table::new(
+                "orders",
+                vec![
+                    Column::new("o_orderkey", ColumnType::BigInt),
+                    Column::new("o_custkey", ColumnType::BigInt),
+                    Column::new("o_orderdate", ColumnType::Date),
+                ],
+            )
+            .with_primary_key(&["o_orderkey"])
+            .with_foreign_key(&["o_custkey"], "customer", &["c_custkey"]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let db = sample_db();
+        let script = MetadataScript::export(&db);
+        let imported = script.import().unwrap();
+        assert_eq!(db, imported);
+        imported.validate().unwrap();
+    }
+
+    #[test]
+    fn script_carries_no_data_and_is_small() {
+        let script = MetadataScript::export(&sample_db());
+        // metadata scripting "does not depend on data size" (§5.3)
+        assert!(script.text.len() < 512, "script unexpectedly large: {}", script.text.len());
+    }
+
+    #[test]
+    fn malformed_scripts_rejected() {
+        for bad in [
+            "table t\ncolumn a int notnull\n",          // table before database
+            "database d\ncolumn a int notnull\n",       // column outside table
+            "database d\ntable t\ncolumn a blob x\n",   // bad type
+            "database d\nfrobnicate x\n",               // unknown record
+            "",                                         // empty
+            "database d\ntable t\nfk a b\n",            // bad fk syntax
+        ] {
+            let script = MetadataScript { text: bad.to_string() };
+            assert!(script.import().is_err(), "expected error for {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Column types and runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical column types supported by the substrate.
+///
+/// Widths drive the page model: a table's row width is the sum of its
+/// column widths, and index/materialized-view sizes are estimated from the
+/// widths of the columns they contain — the same storage model DTA's
+/// storage-bound enumeration reasons with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 32-bit integer (4 bytes).
+    Int,
+    /// 64-bit integer (8 bytes).
+    BigInt,
+    /// Double-precision float (8 bytes).
+    Float,
+    /// Variable-length string with a declared average width in bytes.
+    Str(u16),
+    /// Calendar date, stored as an ISO-8601 string (8 bytes as an encoded
+    /// day number).
+    Date,
+}
+
+impl ColumnType {
+    /// Average stored width in bytes, used by the page model.
+    pub fn width(self) -> u32 {
+        match self {
+            ColumnType::Int => 4,
+            ColumnType::BigInt => 8,
+            ColumnType::Float => 8,
+            ColumnType::Str(w) => w as u32,
+            ColumnType::Date => 8,
+        }
+    }
+
+    /// True if values of this type order numerically.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::BigInt | ColumnType::Float)
+    }
+
+    /// Stable name used by metadata scripting and the XML schema.
+    pub fn type_name(self) -> String {
+        match self {
+            ColumnType::Int => "int".to_string(),
+            ColumnType::BigInt => "bigint".to_string(),
+            ColumnType::Float => "float".to_string(),
+            ColumnType::Str(w) => format!("varchar({w})"),
+            ColumnType::Date => "date".to_string(),
+        }
+    }
+
+    /// Inverse of [`ColumnType::type_name`].
+    pub fn parse_type_name(s: &str) -> Option<ColumnType> {
+        match s {
+            "int" => Some(ColumnType::Int),
+            "bigint" => Some(ColumnType::BigInt),
+            "float" => Some(ColumnType::Float),
+            "date" => Some(ColumnType::Date),
+            other => {
+                let inner = other.strip_prefix("varchar(")?.strip_suffix(')')?;
+                inner.parse().ok().map(ColumnType::Str)
+            }
+        }
+    }
+}
+
+/// A runtime value stored in a table or compared in a predicate.
+///
+/// `Value` implements a *total* order (`Null` sorts first, numeric types
+/// compare numerically across `Int`/`Float`, strings lexicographically)
+/// so it can key histograms and sort runs.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // consistent with Ord: Int(2) == Float(2.0)
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Value {
+    /// Interpret the value as f64 where meaningful (for histograms over
+    /// numeric columns). Strings map to `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // hash ints and integral floats identically, consistent with Ord/Eq
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ColumnType::Int.width(), 4);
+        assert_eq!(ColumnType::Str(25).width(), 25);
+        assert_eq!(ColumnType::Date.width(), 8);
+    }
+
+    #[test]
+    fn type_name_roundtrip() {
+        for ty in [
+            ColumnType::Int,
+            ColumnType::BigInt,
+            ColumnType::Float,
+            ColumnType::Str(25),
+            ColumnType::Date,
+        ] {
+            assert_eq!(ColumnType::parse_type_name(&ty.type_name()), Some(ty));
+        }
+        assert_eq!(ColumnType::parse_type_name("blob"), None);
+        assert_eq!(ColumnType::parse_type_name("varchar(x)"), None);
+    }
+
+    #[test]
+    fn value_total_order() {
+        let mut vs = vec![
+            Value::Str("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Int(2),
+            Value::Str("a".into()),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int(2),
+                Value::Float(2.5),
+                Value::Int(3),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_consistent_with_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn as_f64() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+}

@@ -1,0 +1,682 @@
+//! Candidate Selection (§2.2): per-query candidate generation plus
+//! Greedy(m, k) selection of the best configuration *for each query*.
+//!
+//! A structure that belongs to some query's best configuration becomes a
+//! *candidate* for the whole workload. Generation is restricted to
+//! interesting column-groups, and all costing goes through the what-if
+//! interface.
+
+use crate::colgroups::ColumnGroups;
+use crate::cost::CostEvaluator;
+use crate::greedy::greedy_mk;
+use crate::options::TuningOptions;
+use dta_catalog::Value;
+use dta_optimizer::query::{bind, BoundSelect, BoundStatement, SargOp};
+use dta_physical::{
+    Configuration, Index, JoinPair, MaterializedView, PhysicalStructure, QualifiedColumn,
+    RangePartitioning, ViewAggregate,
+};
+use dta_server::{Server, TuningTarget};
+use dta_workload::WorkloadItem;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default number of range partitions for generated partitioning schemes.
+pub const DEFAULT_PARTITIONS: usize = 12;
+
+/// A candidate structure with bookkeeping from candidate selection.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub structure: PhysicalStructure,
+    /// Summed per-query benefit (base cost − selected cost, apportioned).
+    pub benefit: f64,
+    /// How many queries selected it.
+    pub selected_by: usize,
+}
+
+/// The output of candidate selection.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePool {
+    pub candidates: Vec<Candidate>,
+    /// Structures generated across all queries (pre-selection).
+    pub generated: usize,
+    /// Greedy evaluations performed.
+    pub evaluations: usize,
+    /// What-if calls issued (cache misses) during selection.
+    pub whatif_calls: usize,
+}
+
+impl CandidatePool {
+    /// Add a selected structure, merging duplicates.
+    pub fn add(&mut self, structure: PhysicalStructure, benefit: f64) {
+        if let Some(c) = self.candidates.iter_mut().find(|c| c.structure == structure) {
+            c.benefit += benefit;
+            c.selected_by += 1;
+        } else {
+            self.candidates.push(Candidate { structure, benefit, selected_by: 1 });
+        }
+    }
+
+    /// Just the structures.
+    pub fn structures(&self) -> Vec<PhysicalStructure> {
+        self.candidates.iter().map(|c| c.structure.clone()).collect()
+    }
+
+    /// Merge another pool into this one.
+    pub fn merge(&mut self, other: CandidatePool) {
+        self.generated += other.generated;
+        self.evaluations += other.evaluations;
+        self.whatif_calls += other.whatif_calls;
+        for c in other.candidates {
+            if let Some(mine) = self.candidates.iter_mut().find(|m| m.structure == c.structure) {
+                mine.benefit += c.benefit;
+                mine.selected_by += c.selected_by;
+            } else {
+                self.candidates.push(c);
+            }
+        }
+    }
+}
+
+/// Derive `n`-way range-partitioning boundaries for a column from its
+/// histogram (if the server has one).
+pub fn partition_boundaries(
+    server: &Server,
+    database: &str,
+    table: &str,
+    column: &str,
+    n: usize,
+) -> Option<Vec<Value>> {
+    server.with_statistics(|stats| {
+        let h = stats.histogram(database, table, column)?;
+        if h.is_empty() || h.bucket_count() < 2 {
+            return None;
+        }
+        let want = n.saturating_sub(1).max(1);
+        let mut out: Vec<Value> = Vec::with_capacity(want);
+        for i in 1..=want {
+            if let Some(b) = h.quantile(i as f64 / (want + 1) as f64) {
+                out.push(b.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        // drop a boundary equal to the max (it would create an empty tail)
+        if let Some(max) = h.max_value() {
+            out.retain(|b| b < max);
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    })
+}
+
+/// Everything generated for one query.
+pub fn generate_for_item(
+    target: &TuningTarget<'_>,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    item: &WorkloadItem,
+) -> Vec<PhysicalStructure> {
+    let catalog = target.catalog();
+    let Ok(bound) = bind(catalog, &item.database, &item.statement) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PhysicalStructure> = Vec::new();
+    match &bound {
+        BoundStatement::Select(sel) => {
+            generate_for_select(target, groups, options, &item.database, sel, &mut out)
+        }
+        BoundStatement::Dml(dml) => {
+            use dta_optimizer::query::BoundDml;
+            if let BoundDml::Update { database, table, filter, .. }
+            | BoundDml::Delete { database, table, filter } = dml
+            {
+                if options.features.indexes {
+                    for s in &filter.sargs {
+                        let set: BTreeSet<String> = [s.column.column.clone()].into();
+                        if groups.is_interesting(database, table, &set) {
+                            push_unique(
+                                &mut out,
+                                PhysicalStructure::Index(Index::non_clustered(
+                                    database,
+                                    table,
+                                    &[s.column.column.as_str()],
+                                    &[],
+                                )),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.truncate(options.max_candidates_per_query);
+    out
+}
+
+fn push_unique(out: &mut Vec<PhysicalStructure>, s: PhysicalStructure) {
+    if !out.contains(&s) {
+        out.push(s);
+    }
+}
+
+fn generate_for_select(
+    target: &TuningTarget<'_>,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    database: &str,
+    sel: &BoundSelect,
+    out: &mut Vec<PhysicalStructure>,
+) {
+    let features = options.features;
+    // per binding analysis
+    for bt in &sel.tables {
+        let table = bt.table.as_str();
+        let binding = bt.binding.as_str();
+        let interesting =
+            |cols: &[&str]| -> bool {
+                let set: BTreeSet<String> = cols.iter().map(|c| c.to_string()).collect();
+                groups.is_interesting(database, table, &set)
+            };
+
+        let sargs = sel.sargs_for(binding);
+        let eq_cols: Vec<&str> = sargs
+            .iter()
+            .filter(|s| matches!(s.op, SargOp::Eq(_) | SargOp::In(_)))
+            .map(|s| s.column.column.as_str())
+            .collect();
+        let range_cols: Vec<&str> = sargs
+            .iter()
+            .filter(|s| matches!(s.op, SargOp::Range { .. } | SargOp::LikePrefix(_)))
+            .map(|s| s.column.column.as_str())
+            .collect();
+        let group_cols: Vec<&str> = sel
+            .group_by
+            .iter()
+            .filter(|g| g.binding == binding)
+            .map(|g| g.column.as_str())
+            .collect();
+        let order_cols: Vec<&str> = sel
+            .order_by
+            .iter()
+            .filter(|(o, _)| o.binding == binding)
+            .map(|(o, _)| o.column.as_str())
+            .collect();
+        let join_cols: Vec<&str> = sel
+            .joins
+            .iter()
+            .filter_map(|j| j.side_for(binding).map(|c| c.column.as_str()))
+            .collect();
+        let referenced = sel.referenced_for(binding);
+
+        // key sequences worth trying
+        let mut key_seqs: Vec<Vec<&'_ str>> = Vec::new();
+        fn push_seq_impl<'x>(
+            seq: Vec<&'x str>,
+            key_seqs: &mut Vec<Vec<&'x str>>,
+            interesting: &dyn Fn(&[&str]) -> bool,
+        ) {
+            if seq.is_empty() || seq.len() > 3 {
+                return;
+            }
+            let mut dedup = Vec::new();
+            for c in seq {
+                if !dedup.contains(&c) {
+                    dedup.push(c);
+                }
+            }
+            if interesting(&dedup) && !key_seqs.contains(&dedup) {
+                key_seqs.push(dedup);
+            }
+        }
+        for &c in eq_cols.iter().chain(&range_cols) {
+            push_seq_impl(vec![c], &mut key_seqs, &interesting);
+        }
+        for &e in &eq_cols {
+            for &r in range_cols.iter().chain(&group_cols) {
+                if e != r {
+                    push_seq_impl(vec![e, r], &mut key_seqs, &interesting);
+                }
+            }
+        }
+        if !group_cols.is_empty() {
+            push_seq_impl(group_cols.clone(), &mut key_seqs, &interesting);
+            // sargable prefix then grouping
+            if let Some(&e) = eq_cols.first() {
+                let mut seq = vec![e];
+                seq.extend(group_cols.iter().copied());
+                seq.truncate(3);
+                push_seq_impl(seq, &mut key_seqs, &interesting);
+            }
+            if let Some(&r) = range_cols.first() {
+                let mut seq = vec![r];
+                seq.extend(group_cols.iter().copied());
+                seq.truncate(3);
+                push_seq_impl(seq, &mut key_seqs, &interesting);
+            }
+        }
+        if !order_cols.is_empty() {
+            push_seq_impl(order_cols.clone(), &mut key_seqs, &interesting);
+        }
+        for &j in &join_cols {
+            push_seq_impl(vec![j], &mut key_seqs, &interesting);
+        }
+
+        if features.indexes {
+            for seq in &key_seqs {
+                push_unique(
+                    out,
+                    PhysicalStructure::Index(Index::non_clustered(database, table, seq, &[])),
+                );
+                // covering variant
+                let includes: Vec<&str> = referenced
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|c| !seq.contains(c))
+                    .collect();
+                if !includes.is_empty() && includes.len() <= 8 {
+                    push_unique(
+                        out,
+                        PhysicalStructure::Index(Index::non_clustered(
+                            database, table, seq, &includes,
+                        )),
+                    );
+                }
+            }
+            // a clustered candidate on the dominant range/group column
+            if let Some(&c) = range_cols.first().or_else(|| group_cols.first()) {
+                if interesting(&[c]) {
+                    push_unique(
+                        out,
+                        PhysicalStructure::Index(Index::clustered(database, table, &[c])),
+                    );
+                }
+            }
+        }
+
+        if features.partitioning {
+            for &c in range_cols.iter().chain(&group_cols).chain(&join_cols) {
+                if !interesting(&[c]) {
+                    continue;
+                }
+                if let Some(boundaries) = partition_boundaries(
+                    target.whatif_server(),
+                    database,
+                    table,
+                    c,
+                    DEFAULT_PARTITIONS,
+                ) {
+                    push_unique(
+                        out,
+                        PhysicalStructure::TablePartitioning {
+                            database: database.to_string(),
+                            table: table.to_string(),
+                            scheme: RangePartitioning::new(c, boundaries),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // view candidate: the whole query's join + grouping, when clean
+    if features.views && sel.residuals.is_empty() && sel.cross_residuals == 0 {
+        if let Some(view) = view_candidate(sel) {
+            if view.is_well_formed() {
+                push_unique(out, PhysicalStructure::View(view));
+            }
+        }
+    }
+}
+
+/// Build the exact-match view for a select, if representable.
+fn view_candidate(sel: &BoundSelect) -> Option<MaterializedView> {
+    // binding → table must be unique (no self joins)
+    let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+    for t in &sel.tables {
+        if seen.insert(t.table.as_str(), ()).is_some() {
+            return None;
+        }
+    }
+    let qc = |binding: &str, column: &str| -> Option<QualifiedColumn> {
+        sel.table_of(binding).map(|t| QualifiedColumn::new(t, column))
+    };
+    let tables: Vec<&str> = sel.tables.iter().map(|t| t.table.as_str()).collect();
+    let mut join_pairs = Vec::new();
+    for j in &sel.joins {
+        join_pairs.push(JoinPair::new(
+            qc(&j.left.binding, &j.left.column)?,
+            qc(&j.right.binding, &j.right.column)?,
+        ));
+    }
+
+    if sel.is_aggregate() {
+        // group by the query's grouping plus every filtered column, so the
+        // view can be filtered at query time
+        let mut group_by: Vec<QualifiedColumn> = Vec::new();
+        for g in &sel.group_by {
+            group_by.push(qc(&g.binding, &g.column)?);
+        }
+        for s in &sel.sargs {
+            group_by.push(qc(&s.column.binding, &s.column.column)?);
+        }
+        group_by.sort();
+        group_by.dedup();
+        if group_by.len() > 6 {
+            return None; // too fine-grained to be worth materializing
+        }
+        let mut aggregates = vec![ViewAggregate::count_star()];
+        for a in &sel.aggregates {
+            if a.distinct {
+                return None;
+            }
+            match &a.arg_expr {
+                Some(e) => {
+                    // canonical table-qualified argument text; views cannot
+                    // capture what cannot be canonicalized
+                    let (text, cols) =
+                        dta_optimizer::query::canonical_agg_arg(sel, e)?;
+                    let arg_columns = cols
+                        .iter()
+                        .map(|bc| qc(&bc.binding, &bc.column))
+                        .collect::<Option<Vec<_>>>()?;
+                    aggregates.push(ViewAggregate::expr(a.func, text, arg_columns));
+                }
+                None => aggregates.push(ViewAggregate::count_star()),
+            }
+        }
+        Some(MaterializedView::grouped(
+            &sel.database,
+            &tables,
+            join_pairs,
+            group_by,
+            aggregates,
+        ))
+    } else if tables.len() >= 2 {
+        // join view projecting everything the query touches
+        let mut projected = Vec::new();
+        for (binding, cols) in &sel.referenced {
+            for c in cols {
+                projected.push(qc(binding, c)?);
+            }
+        }
+        if projected.len() > 10 {
+            return None;
+        }
+        Some(MaterializedView::join_view(&sel.database, &tables, join_pairs, projected))
+    } else {
+        None
+    }
+}
+
+/// Run candidate selection over all items.
+pub fn select_candidates(
+    target: &TuningTarget<'_>,
+    items: &[WorkloadItem],
+    base: &Configuration,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> CandidatePool {
+    let workers = options.parallel_workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() < 8 {
+        return select_chunk(target, items, base, groups, options, stop);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut pools: Vec<CandidatePool> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in items.chunks(chunk) {
+            handles.push(
+                scope.spawn(move |_| select_chunk(target, part, base, groups, options, stop)),
+            );
+        }
+        for h in handles {
+            pools.push(h.join().expect("candidate selection worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut merged = CandidatePool::default();
+    for p in pools {
+        merged.merge(p);
+    }
+    merged
+}
+
+fn select_chunk(
+    target: &TuningTarget<'_>,
+    items: &[WorkloadItem],
+    base: &Configuration,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> CandidatePool {
+    let eval = CostEvaluator::new(target, items);
+    let mut pool = CandidatePool::default();
+    for (i, item) in items.iter().enumerate() {
+        if stop() {
+            break;
+        }
+        let generated = generate_for_item(target, groups, options, item);
+        pool.generated += generated.len();
+        if generated.is_empty() {
+            continue;
+        }
+        let base_cost = match eval.item_cost(i, base) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let mut eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
+            let mut cfg = base.clone();
+            for s in set {
+                cfg.add((*s).clone());
+            }
+            eval.item_cost(i, &cfg).ok()
+        };
+        let mut stop_fn = || stop();
+        let outcome = greedy_mk(
+            &generated,
+            base_cost,
+            options.greedy_m,
+            options.greedy_k,
+            &mut eval_fn,
+            &mut stop_fn,
+        );
+        pool.evaluations += outcome.evaluations;
+        if outcome.chosen.is_empty() {
+            continue;
+        }
+        let benefit =
+            (base_cost - outcome.cost).max(0.0) * item.weight / outcome.chosen.len() as f64;
+        for s in outcome.chosen {
+            pool.add(s, benefit);
+        }
+    }
+    pool.whatif_calls = eval.whatif_calls();
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colgroups::interesting_column_groups;
+    use dta_catalog::{Column, ColumnType, Database, Table};
+    use dta_sql::parse_statement;
+    use dta_stats::StatKey;
+
+    fn server() -> Server {
+        let mut s = Server::new("s");
+        let mut db = Database::new("d");
+        db.add_table(Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+                Column::new("pad", ColumnType::Str(60)),
+            ],
+        ))
+        .unwrap();
+        db.add_table(Table::new(
+            "u",
+            vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
+        ))
+        .unwrap();
+        s.create_database(db).unwrap();
+        for i in 0..20_000i64 {
+            s.table_data_mut("d", "t").unwrap().push_row(vec![
+                Value::Int(i % 500),
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::Str(format!("pad{i:057}")),
+            ]);
+        }
+        for i in 0..2_000i64 {
+            s.table_data_mut("d", "u")
+                .unwrap()
+                .push_row(vec![Value::Int(i % 500), Value::Int(i)]);
+        }
+        s
+    }
+
+    fn items() -> Vec<WorkloadItem> {
+        [
+            "SELECT pad FROM t WHERE a = 7",
+            "SELECT g, COUNT(*) FROM t WHERE a BETWEEN 5 AND 50 GROUP BY g",
+            "SELECT v FROM t, u WHERE t.a = u.k AND b < 100",
+        ]
+        .iter()
+        .map(|sql| WorkloadItem::new("d", parse_statement(sql).unwrap()))
+        .collect()
+    }
+
+    fn groups_for(server: &Server, items: &[WorkloadItem]) -> ColumnGroups {
+        let costs = vec![100.0; items.len()];
+        interesting_column_groups(server.catalog(), items, &costs, 0.01)
+    }
+
+    #[test]
+    fn generation_produces_relevant_structures() {
+        let s = server();
+        s.create_statistics(&[StatKey::new("d", "t", &["a"])]);
+        let target = TuningTarget::Single(&s);
+        let its = items();
+        let groups = groups_for(&s, &its);
+        let opts = TuningOptions::default();
+
+        let g0 = generate_for_item(&target, &groups, &opts, &its[0]);
+        assert!(
+            g0.iter().any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["a"])),
+            "{g0:?}"
+        );
+        // covering variant includes pad
+        assert!(g0.iter().any(|st| matches!(st, PhysicalStructure::Index(ix)
+            if ix.key_columns == ["a"] && ix.included_columns.contains(&"pad".to_string()))));
+
+        let g1 = generate_for_item(&target, &groups, &opts, &its[1]);
+        assert!(
+            g1.iter().any(|st| matches!(st, PhysicalStructure::View(_))),
+            "aggregate query should yield a view candidate: {g1:?}"
+        );
+        assert!(
+            g1.iter().any(|st| matches!(st, PhysicalStructure::TablePartitioning { .. })),
+            "range predicate should yield partitioning (stats exist): {g1:?}"
+        );
+        assert!(g1.iter().any(|st| matches!(st, PhysicalStructure::Index(ix)
+            if ix.kind == dta_physical::IndexKind::Clustered)));
+
+        let g2 = generate_for_item(&target, &groups, &opts, &its[2]);
+        assert!(g2.iter().any(|st| matches!(st, PhysicalStructure::Index(ix)
+            if ix.table == "u" && ix.key_columns == ["k"])));
+    }
+
+    #[test]
+    fn feature_set_respected() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let its = items();
+        let groups = groups_for(&s, &its);
+        let opts = TuningOptions::default().with_features(crate::FeatureSet::indexes_only());
+        for it in &its {
+            for st in generate_for_item(&target, &groups, &opts, it) {
+                assert!(matches!(st, PhysicalStructure::Index(_)), "{st:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_picks_beneficial_structures() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let its = items();
+        let groups = groups_for(&s, &its);
+        let opts = TuningOptions { parallel_workers: 1, ..Default::default() };
+        let pool = select_candidates(
+            &target,
+            &its,
+            &Configuration::new(),
+            &groups,
+            &opts,
+            &(|| false),
+        );
+        assert!(!pool.candidates.is_empty());
+        assert!(pool.evaluations > 0);
+        for c in &pool.candidates {
+            assert!(c.benefit >= 0.0);
+            assert!(c.selected_by >= 1);
+        }
+        // the point query's index should be among the winners
+        assert!(pool
+            .candidates
+            .iter()
+            .any(|c| matches!(&c.structure, PhysicalStructure::Index(ix) if ix.key_columns[0] == "a")));
+    }
+
+    #[test]
+    fn parallel_selection_matches_serial_structures() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        // enough items to trigger the parallel path
+        let mut its = Vec::new();
+        for _ in 0..4 {
+            its.extend(items());
+        }
+        let groups = groups_for(&s, &its);
+        let serial = select_candidates(
+            &target,
+            &its,
+            &Configuration::new(),
+            &groups,
+            &TuningOptions { parallel_workers: 1, ..Default::default() },
+            &(|| false),
+        );
+        let parallel = select_candidates(
+            &target,
+            &its,
+            &Configuration::new(),
+            &groups,
+            &TuningOptions { parallel_workers: 4, ..Default::default() },
+            &(|| false),
+        );
+        let mut a: Vec<String> = serial.candidates.iter().map(|c| c.structure.name()).collect();
+        let mut b: Vec<String> = parallel.candidates.iter().map(|c| c.structure.name()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_statements_yield_locator_indexes() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let item = WorkloadItem::new(
+            "d",
+            parse_statement("UPDATE t SET g = 1 WHERE b = 55").unwrap(),
+        );
+        let groups = groups_for(&s, std::slice::from_ref(&item));
+        let gs = generate_for_item(&target, &groups, &TuningOptions::default(), &item);
+        assert!(gs.iter().any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["b"])));
+    }
+}

@@ -1,0 +1,248 @@
+//! Workload cost evaluation with per-statement caching.
+//!
+//! Every configuration DTA explores is priced as the weighted sum of
+//! optimizer-estimated statement costs (§2.2). Two optimizations keep
+//! the what-if call count manageable without changing any result:
+//!
+//! 1. **Relevance filtering** — a statement's plan can only be affected
+//!    by structures on the tables it references, so the configuration is
+//!    projected onto those tables before the what-if call;
+//! 2. **Memoization** — the projected configuration is fingerprinted and
+//!    the (statement, fingerprint) → cost mapping cached, so greedy steps
+//!    that do not touch a statement's tables are free.
+
+use dta_physical::{Configuration, PhysicalStructure};
+use dta_server::{ServerError, TuningTarget};
+use dta_workload::WorkloadItem;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Caching cost evaluator over one tuning target and workload.
+pub struct CostEvaluator<'a> {
+    target: &'a TuningTarget<'a>,
+    items: &'a [WorkloadItem],
+    /// Tables each item references: (database, table) pairs.
+    item_tables: Vec<Vec<(String, String)>>,
+    cache: RefCell<Vec<HashMap<u64, f64>>>,
+    whatif_calls: Cell<usize>,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Build an evaluator for `items` against `target`.
+    pub fn new(target: &'a TuningTarget<'a>, items: &'a [WorkloadItem]) -> Self {
+        let item_tables = items
+            .iter()
+            .map(|i| {
+                let mut ts: Vec<(String, String)> = i
+                    .statement
+                    .referenced_tables()
+                    .into_iter()
+                    .map(|t| (i.database.clone(), t.to_string()))
+                    .collect();
+                ts.sort();
+                ts.dedup();
+                ts
+            })
+            .collect();
+        Self {
+            target,
+            items,
+            item_tables,
+            cache: RefCell::new(vec![HashMap::new(); items.len()]),
+            whatif_calls: Cell::new(0),
+        }
+    }
+
+    /// The workload items being priced.
+    pub fn items(&self) -> &'a [WorkloadItem] {
+        self.items
+    }
+
+    /// Tuning target.
+    pub fn target(&self) -> &'a TuningTarget<'a> {
+        self.target
+    }
+
+    /// What-if calls actually issued (cache misses).
+    pub fn whatif_calls(&self) -> usize {
+        self.whatif_calls.get()
+    }
+
+    /// Structures of `config` that can affect item `i`.
+    fn relevant(&self, i: usize, config: &Configuration) -> Configuration {
+        let tables = &self.item_tables[i];
+        let db = &self.items[i].database;
+        config
+            .iter()
+            .filter(|s| match s {
+                PhysicalStructure::Index(ix) => tables
+                    .iter()
+                    .any(|(d, t)| *d == ix.database && *t == ix.table),
+                PhysicalStructure::View(v) => {
+                    v.database == *db && v.tables.iter().any(|vt| tables.iter().any(|(_, t)| t == vt))
+                }
+                PhysicalStructure::TablePartitioning { database, table, .. } => {
+                    tables.iter().any(|(d, t)| d == database && t == table)
+                }
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn fingerprint(config: &Configuration) -> u64 {
+        let mut names: Vec<String> = config.iter().map(|s| s.name()).collect();
+        names.sort();
+        let mut h = DefaultHasher::new();
+        names.hash(&mut h);
+        h.finish()
+    }
+
+    /// Estimated cost of one item under `config`.
+    pub fn item_cost(&self, i: usize, config: &Configuration) -> Result<f64, ServerError> {
+        let relevant = self.relevant(i, config);
+        let fp = Self::fingerprint(&relevant);
+        if let Some(c) = self.cache.borrow()[i].get(&fp) {
+            return Ok(*c);
+        }
+        let item = &self.items[i];
+        self.whatif_calls.set(self.whatif_calls.get() + 1);
+        let plan = self.target.whatif(&item.database, &item.statement, &relevant)?;
+        self.cache.borrow_mut()[i].insert(fp, plan.cost);
+        Ok(plan.cost)
+    }
+
+    /// Weighted workload cost under `config`.
+    pub fn workload_cost(&self, config: &Configuration) -> Result<f64, ServerError> {
+        let mut total = 0.0;
+        for i in 0..self.items.len() {
+            total += self.items[i].weight * self.item_cost(i, config)?;
+        }
+        Ok(total)
+    }
+
+    /// Weighted cost of a subset of items (per-query candidate selection).
+    pub fn subset_cost(
+        &self,
+        indexes: &[usize],
+        config: &Configuration,
+    ) -> Result<f64, ServerError> {
+        let mut total = 0.0;
+        for &i in indexes {
+            total += self.items[i].weight * self.item_cost(i, config)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::{Column, ColumnType, Database, Table, Value};
+    use dta_physical::Index;
+    use dta_server::Server;
+    use dta_sql::parse_statement;
+    use dta_workload::Workload;
+
+    fn server() -> Server {
+        let mut s = Server::new("s");
+        let mut db = Database::new("d");
+        for name in ["t", "u"] {
+            db.add_table(Table::new(
+                name,
+                vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Int)],
+            ))
+            .unwrap();
+        }
+        s.create_database(db).unwrap();
+        for name in ["t", "u"] {
+            let d = s.table_data_mut("d", name).unwrap();
+            for i in 0..5000i64 {
+                d.push_row(vec![Value::Int(i % 100), Value::Int(i)]);
+            }
+        }
+        s
+    }
+
+    fn wl() -> Workload {
+        Workload::from_items(vec![
+            dta_workload::WorkloadItem::weighted(
+                "d",
+                parse_statement("SELECT b FROM t WHERE a = 5").unwrap(),
+                10.0,
+            ),
+            dta_workload::WorkloadItem::new("d", parse_statement("SELECT b FROM u WHERE a = 7").unwrap()),
+        ])
+    }
+
+    #[test]
+    fn caching_avoids_redundant_calls() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let empty = Configuration::new();
+        let c1 = eval.workload_cost(&empty).unwrap();
+        assert_eq!(eval.whatif_calls(), 2);
+        let c2 = eval.workload_cost(&empty).unwrap();
+        assert_eq!(eval.whatif_calls(), 2, "second evaluation fully cached");
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn irrelevant_structures_hit_cache() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        eval.workload_cost(&Configuration::new()).unwrap();
+        let calls = eval.whatif_calls();
+        // an index on `u` cannot affect the statement on `t`
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("d", "u", &["a"], &["b"]),
+        )]);
+        eval.item_cost(0, &cfg).unwrap();
+        assert_eq!(eval.whatif_calls(), calls, "projection made it a cache hit");
+        eval.item_cost(1, &cfg).unwrap();
+        assert_eq!(eval.whatif_calls(), calls + 1);
+    }
+
+    #[test]
+    fn weights_scale_costs() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let total = eval.workload_cost(&Configuration::new()).unwrap();
+        let c0 = eval.item_cost(0, &Configuration::new()).unwrap();
+        let c1 = eval.item_cost(1, &Configuration::new()).unwrap();
+        assert!((total - (10.0 * c0 + c1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_cost_sums_selected() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let empty = Configuration::new();
+        let only_first = eval.subset_cost(&[0], &empty).unwrap();
+        let c0 = eval.item_cost(0, &empty).unwrap();
+        assert!((only_first - 10.0 * c0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_changes_cost() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let before = eval.item_cost(0, &Configuration::new()).unwrap();
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("d", "t", &["a"], &["b"]),
+        )]);
+        let after = eval.item_cost(0, &cfg).unwrap();
+        assert!(after < before);
+    }
+}

@@ -1,0 +1,325 @@
+//! Enumeration (§2.2, §4): pick the final configuration from the
+//! candidate pool with Greedy(m, k), honoring the storage bound, the
+//! user-specified configuration, and the alignment constraint.
+//!
+//! Alignment (§4) is enforced by *rewriting* every evaluated
+//! configuration so that each table and all of its indexes share one
+//! partitioning. In [`crate::options::AlignmentMode::Lazy`] mode, the
+//! partitioned index variants this requires are synthesized on demand —
+//! the paper's lazy technique. [`crate::options::AlignmentMode::Eager`]
+//! instead cross-products the pool with every candidate partitioning up
+//! front (the unscalable baseline kept for the ablation).
+
+use crate::candidates::Candidate;
+use crate::cost::CostEvaluator;
+use crate::greedy::greedy_mk;
+use crate::options::{AlignmentMode, TuningOptions};
+use dta_physical::{Configuration, PhysicalStructure, RangePartitioning, SizingInfo};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// The outcome of enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumerationResult {
+    /// Final configuration (base structures included).
+    pub configuration: Configuration,
+    /// Workload cost under it.
+    pub cost: f64,
+    /// Greedy evaluations performed.
+    pub evaluations: usize,
+    /// Size of the pool enumeration ran over (after any eager expansion).
+    pub pool_size: usize,
+    /// Aligned variants synthesized lazily during evaluation.
+    pub lazy_variants: usize,
+}
+
+/// Rewrite `config` so every table is aligned: each table's indexes take
+/// on the table's effective partitioning (or lose theirs if the table is
+/// unpartitioned). Returns the number of structures rewritten.
+pub fn align_configuration(config: &Configuration) -> (Configuration, usize) {
+    // table → target partitioning. Precedence: a clustered index pins the
+    // table's partitioning (even "unpartitioned"); else an explicit heap
+    // partitioning; else the first partitioned index's scheme (in which
+    // case the heap must be partitioned too).
+    let mut target: BTreeMap<(String, String), Option<RangePartitioning>> = BTreeMap::new();
+    let mut add_heap_partitioning: Vec<(String, String, RangePartitioning)> = Vec::new();
+    let mut tables: Vec<(String, String)> = config
+        .iter()
+        .filter_map(|s| s.table().map(|t| (s.database().to_string(), t.to_string())))
+        .collect();
+    tables.sort();
+    tables.dedup();
+    let mut rewritten = 0usize;
+    for (db, t) in tables {
+        let want = if let Some(ci) = config.clustered_index(&db, &t) {
+            ci.partitioning.clone()
+        } else if let Some(p) = config.table_partitioning(&db, &t) {
+            Some(p.clone())
+        } else if let Some(p) = config.indexes_on(&db, &t).find_map(|ix| ix.partitioning.clone())
+        {
+            // the heap itself must adopt this partitioning for the table
+            // to count as aligned — a lazily introduced structure
+            add_heap_partitioning.push((db.clone(), t.clone(), p.clone()));
+            rewritten += 1;
+            Some(p)
+        } else {
+            None
+        };
+        target.insert((db, t), want);
+    }
+
+    let mut out = Configuration::new();
+    for s in config.iter() {
+        match s {
+            PhysicalStructure::Index(ix) => {
+                let want = target
+                    .get(&(ix.database.clone(), ix.table.clone()))
+                    .cloned()
+                    .flatten();
+                if ix.partitioning != want {
+                    let mut v = ix.clone();
+                    v.partitioning = want;
+                    rewritten += 1;
+                    out.add(PhysicalStructure::Index(v));
+                } else {
+                    out.add(s.clone());
+                }
+            }
+            PhysicalStructure::TablePartitioning { database, table, scheme } => {
+                // a heap partitioning is meaningless (and misaligned) when a
+                // clustered index pins a different scheme
+                let want = target.get(&(database.clone(), table.clone())).cloned().flatten();
+                match want {
+                    Some(w) if w == *scheme => {
+                        out.add(s.clone());
+                    }
+                    _ => {
+                        rewritten += 1;
+                        if let Some(w) = want {
+                            out.add(PhysicalStructure::TablePartitioning {
+                                database: database.clone(),
+                                table: table.clone(),
+                                scheme: w,
+                            });
+                        }
+                        // dropped entirely when the table must be unpartitioned
+                    }
+                }
+            }
+            _ => {
+                out.add(s.clone());
+            }
+        }
+    }
+    for (database, table, scheme) in add_heap_partitioning {
+        out.add(PhysicalStructure::TablePartitioning { database, table, scheme });
+    }
+    (out, rewritten)
+}
+
+/// Expand a pool eagerly with every (index × partitioning) variant — the
+/// §4 strawman.
+pub fn eager_alignment_expansion(pool: &[PhysicalStructure]) -> Vec<PhysicalStructure> {
+    let mut schemes: BTreeMap<(String, String), Vec<RangePartitioning>> = BTreeMap::new();
+    for s in pool {
+        let (db, table, scheme) = match s {
+            PhysicalStructure::TablePartitioning { database, table, scheme } => {
+                (database.clone(), table.clone(), scheme.clone())
+            }
+            PhysicalStructure::Index(ix) => match &ix.partitioning {
+                Some(p) => (ix.database.clone(), ix.table.clone(), p.clone()),
+                None => continue,
+            },
+            _ => continue,
+        };
+        let entry = schemes.entry((db, table)).or_default();
+        if !entry.contains(&scheme) {
+            entry.push(scheme);
+        }
+    }
+    let mut out: Vec<PhysicalStructure> = pool.to_vec();
+    for s in pool {
+        if let PhysicalStructure::Index(ix) = s {
+            if let Some(ps) = schemes.get(&(ix.database.clone(), ix.table.clone())) {
+                for p in ps {
+                    let mut v = ix.clone();
+                    v.partitioning = Some(p.clone());
+                    let v = PhysicalStructure::Index(v);
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run enumeration.
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate(
+    eval: &CostEvaluator<'_>,
+    base: &Configuration,
+    pool: &[Candidate],
+    sizing: &dyn SizingInfo,
+    options: &TuningOptions,
+    stop: &mut dyn FnMut() -> bool,
+) -> EnumerationResult {
+    // order candidates by observed benefit (helps greedy find good seeds
+    // early when the time budget cuts the search short)
+    let mut ordered: Vec<&Candidate> = pool.iter().collect();
+    ordered.sort_by(|a, b| b.benefit.total_cmp(&a.benefit));
+    let mut structures: Vec<PhysicalStructure> =
+        ordered.iter().map(|c| c.structure.clone()).collect();
+
+    if options.alignment == AlignmentMode::Eager {
+        structures = eager_alignment_expansion(&structures);
+    }
+
+    let base_bytes = base.total_bytes(sizing);
+    let lazy_variants = Cell::new(0usize);
+
+    let assemble = |set: &[&PhysicalStructure]| -> Option<Configuration> {
+        let mut cfg = base.clone();
+        for s in set {
+            cfg.add((*s).clone());
+        }
+        if options.alignment.required() {
+            let (aligned, n) = align_configuration(&cfg);
+            lazy_variants.set(lazy_variants.get() + n);
+            cfg = aligned;
+        }
+        // structural feasibility: at most one clustering/partitioning per
+        // table; cheap local checks (full catalog validation happened on
+        // the user-specified part already)
+        let mut tables: Vec<(String, String)> = cfg
+            .iter()
+            .filter_map(|s| s.table().map(|t| (s.database().to_string(), t.to_string())))
+            .collect();
+        tables.sort();
+        tables.dedup();
+        for (db, t) in &tables {
+            if cfg
+                .indexes_on(db, t)
+                .filter(|i| i.kind == dta_physical::IndexKind::Clustered)
+                .count()
+                > 1
+            {
+                return None;
+            }
+            let parts = cfg
+                .iter()
+                .filter(|s| {
+                    matches!(s, PhysicalStructure::TablePartitioning { database, table, .. }
+                        if database == db && table == t)
+                })
+                .count();
+            if parts > 1 {
+                return None;
+            }
+        }
+        if let Some(bound) = options.storage_bytes {
+            let added = cfg.total_bytes(sizing).saturating_sub(base_bytes);
+            if added > bound {
+                return None;
+            }
+        }
+        Some(cfg)
+    };
+
+    let base_cost = eval.workload_cost(base).unwrap_or(f64::INFINITY);
+    let mut eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
+        let cfg = assemble(set)?;
+        eval.workload_cost(&cfg).ok()
+    };
+    let k = structures.len();
+    let outcome = greedy_mk(&structures, base_cost, options.greedy_m, k, &mut eval_fn, stop);
+
+    let final_refs: Vec<&PhysicalStructure> = outcome.chosen.iter().collect();
+    let configuration = assemble(&final_refs).unwrap_or_else(|| base.clone());
+    EnumerationResult {
+        configuration,
+        cost: outcome.cost,
+        evaluations: outcome.evaluations,
+        pool_size: structures.len(),
+        lazy_variants: lazy_variants.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::Value;
+    use dta_physical::Index;
+
+    fn part(col: &str) -> RangePartitioning {
+        RangePartitioning::new(col, vec![Value::Int(100), Value::Int(200)])
+    }
+
+    #[test]
+    fn align_rewrites_indexes_to_table_partitioning() {
+        let cfg = Configuration::from_structures([
+            PhysicalStructure::TablePartitioning {
+                database: "d".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+            PhysicalStructure::Index(Index::non_clustered("d", "t", &["a"], &[])),
+            PhysicalStructure::Index(Index::non_clustered("d", "t", &["b"], &[]).partitioned(part("y"))),
+        ]);
+        assert!(!cfg.is_aligned());
+        let (aligned, rewritten) = align_configuration(&cfg);
+        assert!(aligned.is_aligned(), "{aligned}");
+        assert_eq!(rewritten, 2);
+    }
+
+    #[test]
+    fn align_strips_partitioning_when_table_unpartitioned_by_clustered() {
+        // clustered index unpartitioned → table unpartitioned → secondary
+        // index must lose its partitioning
+        let cfg = Configuration::from_structures([
+            PhysicalStructure::Index(Index::clustered("d", "t", &["k"])),
+            PhysicalStructure::Index(
+                Index::non_clustered("d", "t", &["a"], &[]).partitioned(part("a")),
+            ),
+        ]);
+        let (aligned, rewritten) = align_configuration(&cfg);
+        assert!(aligned.is_aligned());
+        assert_eq!(rewritten, 1);
+        assert!(aligned.indexes_on("d", "t").all(|ix| ix.partitioning.is_none()));
+    }
+
+    #[test]
+    fn align_adopts_index_partitioning_when_no_table_partitioning() {
+        let cfg = Configuration::from_structures([
+            PhysicalStructure::Index(
+                Index::non_clustered("d", "t", &["a"], &[]).partitioned(part("a")),
+            ),
+            PhysicalStructure::Index(Index::non_clustered("d", "t", &["b"], &[])),
+        ]);
+        let (aligned, _) = align_configuration(&cfg);
+        assert!(aligned.is_aligned());
+        // both indexes end up partitioned the same way
+        let parts: Vec<_> =
+            aligned.indexes_on("d", "t").map(|ix| ix.partitioning.clone()).collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], parts[1]);
+        assert!(parts[0].is_some());
+    }
+
+    #[test]
+    fn eager_expansion_cross_products() {
+        let pool = vec![
+            PhysicalStructure::TablePartitioning {
+                database: "d".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+            PhysicalStructure::Index(Index::non_clustered("d", "t", &["a"], &[])),
+            PhysicalStructure::Index(Index::non_clustered("d", "t", &["b"], &[])),
+        ];
+        let expanded = eager_alignment_expansion(&pool);
+        // original 3 + 2 partitioned index variants
+        assert_eq!(expanded.len(), 5);
+    }
+}

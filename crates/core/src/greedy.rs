@@ -1,0 +1,220 @@
+//! Greedy(m, k) — the search scheme used by both Candidate Selection and
+//! Enumeration (§2.2, citing [8]).
+//!
+//! Greedy(m, k) first finds the *optimal* subset of up to `m` structures
+//! by exhaustive enumeration, then extends it greedily one structure at a
+//! time up to `k` total. The guarantee: optimal for answer sizes ≤ m, and
+//! in practice very close to optimal beyond because the seed avoids the
+//! classic greedy trap of a locally-good-but-globally-poor first pick.
+
+/// Evaluate a subset. `None` means the subset is infeasible (e.g. over
+/// the storage bound); otherwise the value is a cost (lower = better).
+pub type EvalFn<'e, S> = dyn FnMut(&[&S]) -> Option<f64> + 'e;
+
+/// Result of a Greedy(m, k) run.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome<S> {
+    /// Chosen structures, in pick order.
+    pub chosen: Vec<S>,
+    /// Cost of the chosen set (the empty set's cost if nothing helps).
+    pub cost: f64,
+    /// Number of evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Run Greedy(m, k) over `candidates`.
+///
+/// `base_cost` is the cost of the empty selection; a subset is only ever
+/// adopted if it strictly improves on the incumbent. `stop` is polled
+/// between evaluations for time-bound tuning.
+pub fn greedy_mk<S: Clone>(
+    candidates: &[S],
+    base_cost: f64,
+    m: usize,
+    k: usize,
+    eval: &mut EvalFn<'_, S>,
+    stop: &mut dyn FnMut() -> bool,
+) -> GreedyOutcome<S> {
+    let mut evaluations = 0usize;
+    let mut best_set: Vec<usize> = Vec::new();
+    let mut best_cost = base_cost;
+
+    // Phase 1: exhaustive over subsets of size 1..=m.
+    let m = m.min(candidates.len());
+    let mut stack: Vec<Vec<usize>> = (0..candidates.len()).map(|i| vec![i]).collect();
+    while let Some(set) = stack.pop() {
+        if stop() {
+            return GreedyOutcome {
+                chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
+                cost: best_cost,
+                evaluations,
+            };
+        }
+        let refs: Vec<&S> = set.iter().map(|&i| &candidates[i]).collect();
+        evaluations += 1;
+        if let Some(cost) = eval(&refs) {
+            if cost < best_cost {
+                best_cost = cost;
+                best_set = set.clone();
+            }
+        }
+        if set.len() < m {
+            let last = *set.last().expect("non-empty subset");
+            for next in (last + 1)..candidates.len() {
+                let mut bigger = set.clone();
+                bigger.push(next);
+                stack.push(bigger);
+            }
+        }
+    }
+
+    // Phase 2: greedy extension up to k.
+    while best_set.len() < k.max(m) {
+        if stop() {
+            break;
+        }
+        let mut round_best: Option<(usize, f64)> = None;
+        for i in 0..candidates.len() {
+            if best_set.contains(&i) {
+                continue;
+            }
+            if stop() {
+                break;
+            }
+            let mut set = best_set.clone();
+            set.push(i);
+            let refs: Vec<&S> = set.iter().map(|&j| &candidates[j]).collect();
+            evaluations += 1;
+            if let Some(cost) = eval(&refs) {
+                if cost < round_best.map_or(best_cost, |(_, c)| c) {
+                    round_best = Some((i, cost));
+                }
+            }
+        }
+        match round_best {
+            Some((i, cost)) => {
+                best_set.push(i);
+                best_cost = cost;
+            }
+            None => break, // no further improvement
+        }
+    }
+
+    GreedyOutcome {
+        chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
+        cost: best_cost,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_stop() -> impl FnMut() -> bool {
+        || false
+    }
+
+    #[test]
+    fn finds_optimal_pair_that_greedy_misses() {
+        // classic trap: {a} is the best singleton, but {b, c} together are
+        // far better and exclude a. Greedy(1, k) would seed with `a`;
+        // Greedy(2, k) finds {b, c} exhaustively.
+        let candidates = ["a", "b", "c"];
+        let cost = |set: &[&&str]| {
+            let mut names: Vec<&str> = set.iter().map(|s| **s).collect();
+            names.sort_unstable();
+            Some(match names.as_slice() {
+                [] => 100.0,
+                ["a"] => 50.0,
+                ["b"] | ["c"] => 80.0,
+                ["b", "c"] => 10.0,
+                // sets containing `a` alongside others stay mediocre
+                _ => 49.0,
+            })
+        };
+
+        let g1 = greedy_mk(&candidates, 100.0, 1, 3, &mut { cost }, &mut no_stop());
+        let g2 = greedy_mk(&candidates, 100.0, 2, 3, &mut { cost }, &mut no_stop());
+        assert!(g1.cost > g2.cost, "g1={} g2={}", g1.cost, g2.cost);
+        assert_eq!(g2.cost, 10.0);
+        let mut chosen = g2.chosen.clone();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn greedy_extension_beyond_m() {
+        // additive benefits: every item shaves 10 off
+        let candidates: Vec<usize> = (0..6).collect();
+        let mut eval = |set: &[&usize]| Some(100.0 - 10.0 * set.len() as f64);
+        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut no_stop());
+        assert_eq!(g.chosen.len(), 4);
+        assert_eq!(g.cost, 60.0);
+    }
+
+    #[test]
+    fn stops_when_no_improvement() {
+        let candidates = ["x", "y"];
+        let mut eval = |set: &[&&str]| {
+            if set.len() == 1 && **set[0] == *"x" {
+                Some(90.0)
+            } else {
+                Some(95.0)
+            }
+        };
+        let g = greedy_mk(&candidates, 100.0, 1, 5, &mut eval, &mut no_stop());
+        assert_eq!(g.chosen, vec!["x"]);
+        assert_eq!(g.cost, 90.0);
+    }
+
+    #[test]
+    fn infeasible_subsets_skipped() {
+        // "y" is infeasible (over storage); the best feasible is "x"
+        let candidates = ["x", "y"];
+        let mut eval = |set: &[&&str]| {
+            if set.iter().any(|s| ***s == *"y") {
+                None
+            } else {
+                Some(50.0)
+            }
+        };
+        let g = greedy_mk(&candidates, 100.0, 2, 2, &mut eval, &mut no_stop());
+        assert_eq!(g.chosen, vec!["x"]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let candidates: Vec<&str> = vec![];
+        let mut eval = |_: &[&&str]| Some(1.0);
+        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut no_stop());
+        assert!(g.chosen.is_empty());
+        assert_eq!(g.cost, 100.0);
+        assert_eq!(g.evaluations, 0);
+    }
+
+    #[test]
+    fn stop_cuts_search_short() {
+        let candidates: Vec<usize> = (0..100).collect();
+        let mut calls = 0;
+        let mut eval = |_: &[&usize]| {
+            calls += 1;
+            Some(100.0)
+        };
+        let mut n = 0;
+        let mut stop = move || {
+            n += 1;
+            n > 5
+        };
+        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut stop);
+        assert!(g.evaluations <= 6);
+    }
+
+    #[test]
+    fn never_adopts_non_improving_set() {
+        let candidates = ["a"];
+        let mut eval = |_: &[&&str]| Some(100.0); // equal, not better
+        let g = greedy_mk(&candidates, 100.0, 1, 1, &mut eval, &mut no_stop());
+        assert!(g.chosen.is_empty());
+    }
+}

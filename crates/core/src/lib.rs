@@ -1,0 +1,32 @@
+//! The Database Tuning Advisor — the paper's primary contribution.
+//!
+//! Pipeline (Figure 1):
+//!
+//! ```text
+//! workload ──► compression (§5.1)
+//!          ──► column-group restriction (§2.2, frequent itemsets)
+//!          ──► reduced statistics creation (§5.2, via the server layer)
+//!          ──► candidate selection (per query, Greedy(m,k), §2.2)
+//!          ──► merging (indexes, views, partitioned variants, §2.2)
+//!          ──► enumeration (Greedy(m,k), storage bound, lazy alignment, §2.2/§4)
+//!          ──► recommendation + analysis reports (§6.3)
+//! ```
+//!
+//! Every cost consulted anywhere in the pipeline is an optimizer
+//! estimate obtained through what-if calls on the tuning target (§2.2
+//! "DTA's Cost Model"), so the recommendation is exactly what the
+//! optimizer would use if implemented.
+
+pub mod candidates;
+pub mod colgroups;
+pub mod cost;
+pub mod enumeration;
+pub mod greedy;
+pub mod merging;
+pub mod options;
+pub mod report;
+pub mod session;
+
+pub use options::{AlignmentMode, FeatureSet, TuningOptions};
+pub use report::{EvaluationReport, StatementReport, TuningResult};
+pub use session::{evaluate_configuration, tune, workload_cost};

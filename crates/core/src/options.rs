@@ -1,0 +1,156 @@
+//! Tuning options — the DBA-facing knobs of §2.1.
+
+use dta_physical::Configuration;
+use dta_workload::CompressionOptions;
+
+/// Which physical design features DTA may recommend (§2.1 "Feature set
+/// to tune"; §3 "DTA allows DBAs to choose only a subset").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    pub indexes: bool,
+    pub views: bool,
+    pub partitioning: bool,
+}
+
+impl FeatureSet {
+    /// Everything (the integrated recommendation).
+    pub fn all() -> Self {
+        Self { indexes: true, views: true, partitioning: true }
+    }
+
+    /// Indexes only (e.g. an OLTP DBA excluding views, §2.1).
+    pub fn indexes_only() -> Self {
+        Self { indexes: true, views: false, partitioning: false }
+    }
+
+    /// Indexes and views — what ITW for SQL Server 2000 supported (§7.6).
+    pub fn indexes_and_views() -> Self {
+        Self { indexes: true, views: true, partitioning: false }
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// How alignment candidates are introduced during enumeration (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignmentMode {
+    /// No alignment requirement.
+    None,
+    /// Alignment required; aligned variants of structures are created
+    /// lazily as the greedy front needs them (the paper's technique).
+    Lazy,
+    /// Alignment required; every (structure × partitioning) variant is
+    /// added to the candidate pool up front (the unscalable strawman the
+    /// paper's lazy technique improves on — kept for the ablation).
+    Eager,
+}
+
+impl AlignmentMode {
+    /// Whether alignment is required at all.
+    pub fn required(self) -> bool {
+        !matches!(self, AlignmentMode::None)
+    }
+}
+
+/// All tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TuningOptions {
+    /// Feature set to tune.
+    pub features: FeatureSet,
+    /// Optional bound on the total storage of the recommendation,
+    /// in bytes (§2.1).
+    pub storage_bytes: Option<u64>,
+    /// Optional bound on tuning work, in the target's work units
+    /// (time-bound tuning, §2.1).
+    pub time_budget_units: Option<f64>,
+    /// Alignment constraint (§4).
+    pub alignment: AlignmentMode,
+    /// A user-specified partial configuration that must be contained in
+    /// the recommendation (§6.2).
+    pub user_specified: Option<Configuration>,
+    /// Compress the workload before tuning (§5.1).
+    pub compress: bool,
+    /// Compression knobs.
+    pub compression: CompressionOptions,
+    /// Use reduced statistics creation (§5.2).
+    pub reduce_statistics: bool,
+    /// Column-group restriction threshold: groups relevant to less than
+    /// this fraction of the workload cost are pruned (§2.2).
+    pub colgroup_cost_threshold: f64,
+    /// Greedy(m, k) parameters for per-query candidate selection.
+    pub greedy_m: usize,
+    pub greedy_k: usize,
+    /// Cap on candidate structures generated per query.
+    pub max_candidates_per_query: usize,
+    /// Parallelize candidate selection across worker threads.
+    pub parallel_workers: usize,
+}
+
+impl Default for TuningOptions {
+    fn default() -> Self {
+        Self {
+            features: FeatureSet::all(),
+            storage_bytes: None,
+            time_budget_units: None,
+            alignment: AlignmentMode::None,
+            user_specified: None,
+            compress: true,
+            compression: CompressionOptions::default(),
+            reduce_statistics: true,
+            colgroup_cost_threshold: 0.02,
+            greedy_m: 2,
+            greedy_k: 8,
+            max_candidates_per_query: 14,
+            parallel_workers: 4,
+        }
+    }
+}
+
+impl TuningOptions {
+    /// Convenience: options with a storage bound.
+    pub fn with_storage_mb(mut self, mb: u64) -> Self {
+        self.storage_bytes = Some(mb << 20);
+        self
+    }
+
+    /// Convenience: restrict the feature set.
+    pub fn with_features(mut self, features: FeatureSet) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Convenience: require aligned partitioning.
+    pub fn with_alignment(mut self) -> Self {
+        self.alignment = AlignmentMode::Lazy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_integrated() {
+        let o = TuningOptions::default();
+        assert!(o.features.indexes && o.features.views && o.features.partitioning);
+        assert!(o.compress);
+        assert!(o.reduce_statistics);
+        assert_eq!(o.alignment, AlignmentMode::None);
+    }
+
+    #[test]
+    fn builders() {
+        let o = TuningOptions::default()
+            .with_storage_mb(100)
+            .with_features(FeatureSet::indexes_only())
+            .with_alignment();
+        assert_eq!(o.storage_bytes, Some(100 << 20));
+        assert!(!o.features.views);
+        assert!(o.alignment.required());
+    }
+}

@@ -1,0 +1,256 @@
+//! Tuning results and analysis reports (§6.3).
+
+use dta_physical::Configuration;
+use std::fmt;
+
+/// The outcome of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The recommended physical design (constraint-enforcing structures
+    /// and any user-specified configuration included).
+    pub recommendation: Configuration,
+    /// Workload cost (tuned workload) under the base configuration.
+    pub base_cost: f64,
+    /// Workload cost under the recommendation.
+    pub recommended_cost: f64,
+    /// Statements actually tuned (after compression).
+    pub statements_tuned: usize,
+    /// Statements in the input workload.
+    pub total_statements: usize,
+    /// Total events (sum of weights) in the input workload.
+    pub total_events: f64,
+    /// What-if optimizer calls issued (cache misses).
+    pub whatif_calls: usize,
+    /// Greedy evaluations across candidate selection and enumeration.
+    pub evaluations: usize,
+    /// Structures generated during candidate generation.
+    pub candidates_generated: usize,
+    /// Structures surviving per-query candidate selection (+ merging).
+    pub candidates_selected: usize,
+    /// Enumeration pool size (after any eager alignment expansion).
+    pub pool_size: usize,
+    /// Aligned variants synthesized lazily (§4).
+    pub lazy_variants: usize,
+    /// Statistics requested / actually created (§5.2).
+    pub stats_requested: usize,
+    pub stats_created: usize,
+    /// Work units spent creating statistics (on the data server).
+    pub stats_work_units: f64,
+    /// Total tuning overhead in work units on the what-if server.
+    pub tuning_work_units: f64,
+    /// Incremental storage of the recommendation, in bytes.
+    pub storage_bytes: u64,
+}
+
+impl TuningResult {
+    /// Expected improvement as a fraction of the base cost.
+    pub fn expected_improvement(&self) -> f64 {
+        if self.base_cost <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.recommended_cost / self.base_cost).max(0.0)
+    }
+}
+
+impl fmt::Display for TuningResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DTA recommendation")?;
+        writeln!(
+            f,
+            "  expected improvement: {:.1}% (cost {:.1} -> {:.1})",
+            self.expected_improvement() * 100.0,
+            self.base_cost,
+            self.recommended_cost
+        )?;
+        writeln!(
+            f,
+            "  tuned {} of {} statements ({} events); {} what-if calls; {} evaluations",
+            self.statements_tuned,
+            self.total_statements,
+            self.total_events,
+            self.whatif_calls,
+            self.evaluations
+        )?;
+        writeln!(
+            f,
+            "  candidates: {} generated, {} selected, pool {} (lazy aligned variants: {})",
+            self.candidates_generated, self.candidates_selected, self.pool_size, self.lazy_variants
+        )?;
+        writeln!(
+            f,
+            "  statistics: {} requested, {} created ({:.1} work units)",
+            self.stats_requested, self.stats_created, self.stats_work_units
+        )?;
+        writeln!(f, "  storage: {:.1} MB", self.storage_bytes as f64 / (1 << 20) as f64)?;
+        write!(f, "{}", self.recommendation)
+    }
+}
+
+/// Per-statement entry of an evaluation report.
+#[derive(Debug, Clone)]
+pub struct StatementReport {
+    pub database: String,
+    pub sql: String,
+    pub weight: f64,
+    pub current_cost: f64,
+    pub proposed_cost: f64,
+    /// Structures the proposed plan uses.
+    pub used_structures: Vec<String>,
+}
+
+impl StatementReport {
+    /// Percentage change for this statement (negative = cheaper).
+    pub fn change_percent(&self) -> f64 {
+        if self.current_cost <= 0.0 {
+            return 0.0;
+        }
+        (self.proposed_cost / self.current_cost - 1.0) * 100.0
+    }
+}
+
+/// Exploratory / what-if analysis output (§6.3): the expected percentage
+/// change in workload cost for a user-proposed configuration, plus
+/// per-statement detail and structure usage.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    pub statements: Vec<StatementReport>,
+    pub current_total: f64,
+    pub proposed_total: f64,
+}
+
+impl EvaluationReport {
+    /// "Expected percentage change in the workload cost compared to the
+    /// existing configuration" — negative means improvement.
+    pub fn change_percent(&self) -> f64 {
+        if self.current_total <= 0.0 {
+            return 0.0;
+        }
+        (self.proposed_total / self.current_total - 1.0) * 100.0
+    }
+
+    /// Usage counts: structure name → number of statements using it.
+    pub fn structure_usage(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for s in &self.statements {
+            for name in &s.used_structures {
+                *counts.entry(name.clone()).or_default() += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+impl fmt::Display for EvaluationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Evaluation: workload cost {:.1} -> {:.1} ({:+.1}%)",
+            self.current_total,
+            self.proposed_total,
+            self.change_percent()
+        )?;
+        for s in &self.statements {
+            writeln!(
+                f,
+                "  [{:+7.1}%] w={:<6} {}",
+                s.change_percent(),
+                s.weight,
+                truncate(&s.sql, 80)
+            )?;
+        }
+        let usage = self.structure_usage();
+        if !usage.is_empty() {
+            writeln!(f, "  structure usage:")?;
+            for (name, count) in usage {
+                writeln!(f, "    {count:>4} x {name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TuningResult {
+        TuningResult {
+            recommendation: Configuration::new(),
+            base_cost: 200.0,
+            recommended_cost: 50.0,
+            statements_tuned: 5,
+            total_statements: 50,
+            total_events: 50.0,
+            whatif_calls: 123,
+            evaluations: 456,
+            candidates_generated: 40,
+            candidates_selected: 12,
+            pool_size: 15,
+            lazy_variants: 3,
+            stats_requested: 10,
+            stats_created: 4,
+            stats_work_units: 77.0,
+            tuning_work_units: 999.0,
+            storage_bytes: 10 << 20,
+        }
+    }
+
+    #[test]
+    fn improvement_math() {
+        let r = result();
+        assert!((r.expected_improvement() - 0.75).abs() < 1e-9);
+        let mut r2 = result();
+        r2.recommended_cost = 300.0;
+        assert_eq!(r2.expected_improvement(), 0.0, "never negative");
+        r2.base_cost = 0.0;
+        assert_eq!(r2.expected_improvement(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = result().to_string();
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("what-if"));
+        assert!(text.contains("10.0 MB"));
+    }
+
+    #[test]
+    fn evaluation_report_math() {
+        let rep = EvaluationReport {
+            statements: vec![
+                StatementReport {
+                    database: "d".into(),
+                    sql: "SELECT 1".into(),
+                    weight: 1.0,
+                    current_cost: 100.0,
+                    proposed_cost: 40.0,
+                    used_structures: vec!["idx_t_a".into()],
+                },
+                StatementReport {
+                    database: "d".into(),
+                    sql: "SELECT 2".into(),
+                    weight: 1.0,
+                    current_cost: 100.0,
+                    proposed_cost: 120.0,
+                    used_structures: vec!["idx_t_a".into(), "mv_x".into()],
+                },
+            ],
+            current_total: 200.0,
+            proposed_total: 160.0,
+        };
+        assert!((rep.change_percent() + 20.0).abs() < 1e-9);
+        assert!((rep.statements[0].change_percent() + 60.0).abs() < 1e-9);
+        let usage = rep.structure_usage();
+        assert_eq!(usage, vec![("idx_t_a".to_string(), 2), ("mv_x".to_string(), 1)]);
+        let text = rep.to_string();
+        assert!(text.contains("-20.0%"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The tuning session: Figure 1's pipeline end to end.
+
+use crate::candidates::select_candidates;
+use crate::colgroups::interesting_column_groups;
+use crate::cost::CostEvaluator;
+use crate::enumeration::enumerate;
+use crate::merging::merge_candidates;
+use crate::options::TuningOptions;
+use crate::report::{EvaluationReport, StatementReport, TuningResult};
+use dta_physical::Configuration;
+use dta_server::{ServerError, TuningTarget};
+use dta_stats::StatKey;
+use dta_workload::{compress, Workload};
+use std::collections::BTreeSet;
+
+/// Errors from a tuning session.
+#[derive(Debug)]
+pub enum TuneError {
+    /// The user-specified configuration is not valid (§6.2).
+    InvalidUserConfiguration(Vec<dta_physical::ValidityError>),
+    /// A server interaction failed.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::InvalidUserConfiguration(errs) => {
+                write!(f, "invalid user-specified configuration: ")?;
+                for e in errs {
+                    write!(f, "{e}; ")?;
+                }
+                Ok(())
+            }
+            TuneError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<ServerError> for TuneError {
+    fn from(e: ServerError) -> Self {
+        TuneError::Server(e)
+    }
+}
+
+/// Convenience: weighted workload cost under a configuration.
+pub fn workload_cost(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    config: &Configuration,
+) -> Result<f64, ServerError> {
+    let eval = CostEvaluator::new(target, &workload.items);
+    eval.workload_cost(config)
+}
+
+/// Run a full tuning session.
+pub fn tune(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    options: &TuningOptions,
+) -> Result<TuningResult, TuneError> {
+    let whatif_server = target.whatif_server();
+    let tuning_start_units = whatif_server.overhead_units();
+
+    // base configuration: constraint-enforcing indexes + the (validated)
+    // user-specified configuration
+    let mut base = whatif_server.raw_configuration();
+    if let Some(user) = &options.user_specified {
+        let errors = user.validate(target.catalog());
+        if !errors.is_empty() {
+            return Err(TuneError::InvalidUserConfiguration(errors));
+        }
+        base = base.union(user);
+    }
+
+    // §5.1 workload compression
+    let (tuned_workload, _partitions) = if options.compress {
+        let out = compress(workload, options.compression);
+        (out.compressed, out.partitions)
+    } else {
+        (workload.clone(), workload.len())
+    };
+    let items = &tuned_workload.items;
+
+    // preliminary base costs (pre-statistics) for column-group weighting
+    let pre_eval = CostEvaluator::new(target, items);
+    let mut pre_costs = Vec::with_capacity(items.len());
+    for i in 0..items.len() {
+        pre_costs.push(pre_eval.item_cost(i, &base).map_err(TuneError::Server)?);
+    }
+    let pre_whatif = pre_eval.whatif_calls();
+
+    // §2.2 column-group restriction
+    let groups = interesting_column_groups(
+        target.catalog(),
+        items,
+        &pre_costs,
+        options.colgroup_cost_threshold,
+    );
+
+    // §5.2 statistics for the interesting groups (histograms come from
+    // singleton groups; densities from the multi-column ones)
+    let mut required: Vec<StatKey> = Vec::new();
+    let mut table_keys: BTreeSet<(String, String)> = BTreeSet::new();
+    for item in items.iter() {
+        for t in item.statement.referenced_tables() {
+            table_keys.insert((item.database.clone(), t.to_string()));
+        }
+    }
+    for (db, table) in &table_keys {
+        for group in groups.for_table(db, table) {
+            let cols: Vec<String> = group.iter().cloned().collect();
+            required.push(StatKey { database: db.clone(), table: table.clone(), columns: cols });
+        }
+    }
+    let stats_report = target.ensure_statistics(&required, options.reduce_statistics);
+
+    // time-bound tuning: stop when the what-if server has spent the budget
+    let budget = options.time_budget_units;
+    let stop = move || match budget {
+        Some(b) => whatif_server.overhead_units() - tuning_start_units >= b,
+        None => false,
+    };
+
+    // §2.2 candidate selection (per query, possibly parallel)
+    let mut pool = select_candidates(target, items, &base, &groups, options, &stop);
+
+    // §2.2 merging
+    merge_candidates(&mut pool);
+    let candidates_selected = pool.candidates.len();
+
+    // §2.2/§4 enumeration
+    let eval = CostEvaluator::new(target, items);
+    let base_cost = eval.workload_cost(&base).map_err(TuneError::Server)?;
+    let mut stop_mut = stop;
+    let enumeration = enumerate(
+        &eval,
+        &base,
+        &pool.candidates,
+        whatif_server,
+        options,
+        &mut stop_mut,
+    );
+
+    let storage_bytes = enumeration
+        .configuration
+        .total_bytes(whatif_server)
+        .saturating_sub(base.total_bytes(whatif_server));
+
+    Ok(TuningResult {
+        recommendation: enumeration.configuration,
+        base_cost,
+        recommended_cost: enumeration.cost.min(base_cost),
+        statements_tuned: items.len(),
+        total_statements: workload.len(),
+        total_events: workload.total_events(),
+        whatif_calls: pre_whatif + pool.whatif_calls + eval.whatif_calls(),
+        evaluations: pool.evaluations + enumeration.evaluations,
+        candidates_generated: pool.generated,
+        candidates_selected,
+        pool_size: enumeration.pool_size,
+        lazy_variants: enumeration.lazy_variants,
+        stats_requested: stats_report.requested,
+        stats_created: stats_report.created,
+        stats_work_units: stats_report.work_units,
+        tuning_work_units: whatif_server.overhead_units() - tuning_start_units,
+        storage_bytes,
+    })
+}
+
+/// §6.3 exploratory analysis: evaluate a user-proposed configuration for
+/// a workload against the current one, without any search.
+pub fn evaluate_configuration(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    current: &Configuration,
+    proposed: &Configuration,
+) -> Result<EvaluationReport, ServerError> {
+    let mut statements = Vec::with_capacity(workload.len());
+    let mut current_total = 0.0;
+    let mut proposed_total = 0.0;
+    for item in &workload.items {
+        let cur = target.whatif(&item.database, &item.statement, current)?;
+        let prop = target.whatif(&item.database, &item.statement, proposed)?;
+        current_total += item.weight * cur.cost;
+        proposed_total += item.weight * prop.cost;
+        statements.push(StatementReport {
+            database: item.database.clone(),
+            sql: item.statement.to_string(),
+            weight: item.weight,
+            current_cost: cur.cost,
+            proposed_cost: prop.cost,
+            used_structures: prop.used_structures(),
+        });
+    }
+    Ok(EvaluationReport { statements, current_total, proposed_total })
+}

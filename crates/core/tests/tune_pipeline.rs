@@ -1,0 +1,327 @@
+//! End-to-end tests of the full tuning pipeline.
+
+use dta_catalog::{Column, ColumnType, Database, Table, Value};
+use dta_core::{tune, workload_cost, AlignmentMode, FeatureSet, TuningOptions};
+use dta_physical::{Configuration, Index, PhysicalStructure, RangePartitioning};
+use dta_server::{Server, TuningTarget};
+use dta_sql::parse_statement;
+use dta_workload::{Workload, WorkloadItem};
+
+/// A medium table with selective columns and a wide pad.
+fn make_server() -> Server {
+    let mut server = Server::new("prod");
+    let mut db = Database::new("d");
+    db.add_table(
+        Table::new(
+            "fact",
+            vec![
+                Column::new("k", ColumnType::BigInt),
+                Column::new("a", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+                Column::new("m", ColumnType::Int),
+                Column::new("val", ColumnType::Float),
+                Column::new("pad", ColumnType::Str(80)),
+            ],
+        )
+        .with_primary_key(&["k"]),
+    )
+    .unwrap();
+    db.add_table(
+        Table::new(
+            "dim",
+            vec![
+                Column::new("dk", ColumnType::Int),
+                Column::new("dname", ColumnType::Str(20)),
+            ],
+        )
+        .with_primary_key(&["dk"]),
+    )
+    .unwrap();
+    server.create_database(db).unwrap();
+    {
+        let t = server.table_data_mut("d", "fact").unwrap();
+        for i in 0..60_000i64 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 2000),
+                Value::Int(i % 25),
+                Value::Int(i % 12),
+                Value::Float((i % 997) as f64),
+                Value::Str(format!("{:=<80}", i)),
+            ]);
+        }
+        t.set_scale(50.0);
+    }
+    {
+        let t = server.table_data_mut("d", "dim").unwrap();
+        for i in 0..2000i64 {
+            t.push_row(vec![Value::Int(i), Value::Str(format!("dim{i}"))]);
+        }
+    }
+    server
+}
+
+fn sel(sql: &str) -> WorkloadItem {
+    WorkloadItem::new("d", parse_statement(sql).unwrap())
+}
+
+fn read_workload() -> Workload {
+    let mut items = Vec::new();
+    // templatized point queries
+    for i in 0..40 {
+        items.push(sel(&format!("SELECT pad FROM fact WHERE a = {}", i * 13 % 2000)));
+    }
+    // grouped reports with a month filter
+    for i in 0..20 {
+        items.push(sel(&format!(
+            "SELECT g, COUNT(*), SUM(val) FROM fact WHERE m = {} GROUP BY g",
+            i % 12
+        )));
+    }
+    // join lookups
+    for i in 0..15 {
+        items.push(sel(&format!(
+            "SELECT dname FROM fact, dim WHERE fact.a = dim.dk AND fact.k = {}",
+            i * 100
+        )));
+    }
+    Workload::from_items(items)
+}
+
+#[test]
+fn tuning_improves_read_workload() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    let options = TuningOptions { parallel_workers: 2, ..Default::default() };
+    let result = tune(&target, &workload, &options).expect("tuning succeeds");
+
+    assert!(
+        result.expected_improvement() > 0.5,
+        "expected >50%% improvement, got {:.1}%\n{result}",
+        result.expected_improvement() * 100.0
+    );
+    assert!(!result.recommendation.difference(&server.raw_configuration()).is_empty());
+    assert!(result.whatif_calls > 0);
+    assert!(result.stats_created <= result.stats_requested);
+
+    // the improvement holds on the full workload, not just internally
+    let base = server.raw_configuration();
+    let full_base = workload_cost(&target, &workload, &base).unwrap();
+    let full_rec = workload_cost(&target, &workload, &result.recommendation).unwrap();
+    assert!(
+        full_rec < full_base * 0.6,
+        "full-workload check: {full_rec} !< 0.6 * {full_base}"
+    );
+}
+
+#[test]
+fn storage_bound_respected_and_quality_degrades_gracefully() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+
+    let unbounded =
+        tune(&target, &workload, &TuningOptions { parallel_workers: 1, ..Default::default() })
+            .unwrap();
+    let tight = tune(
+        &target,
+        &workload,
+        &TuningOptions { parallel_workers: 1, ..Default::default() }.with_storage_mb(40),
+    )
+    .unwrap();
+
+    assert!(tight.storage_bytes <= 40 << 20, "storage {} over bound", tight.storage_bytes);
+    assert!(unbounded.storage_bytes >= tight.storage_bytes);
+    assert!(unbounded.expected_improvement() >= tight.expected_improvement() - 1e-9);
+    // even bounded, something useful gets recommended
+    assert!(tight.expected_improvement() > 0.1, "{}", tight.expected_improvement());
+}
+
+#[test]
+fn update_heavy_workload_gets_no_new_structures() {
+    // the CUST3 effect (§7.1): when updates dominate, DTA correctly
+    // recommends nothing beyond the constraint indexes
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let mut items = Vec::new();
+    for i in 0..80 {
+        items.push(WorkloadItem::new(
+            "d",
+            parse_statement(&format!(
+                "UPDATE fact SET val = {} WHERE k = {}",
+                i,
+                i * 31 % 60_000
+            ))
+            .unwrap(),
+        ));
+    }
+    // a couple of cheap PK lookups
+    for i in 0..5 {
+        items.push(sel(&format!("SELECT val FROM fact WHERE k = {}", i * 7)));
+    }
+    let workload = Workload::from_items(items);
+    let result = tune(
+        &target,
+        &workload,
+        &TuningOptions { parallel_workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    let added = result.recommendation.difference(&server.raw_configuration()).len();
+    assert_eq!(added, 0, "expected no new structures:\n{}", result.recommendation);
+}
+
+#[test]
+fn user_specified_configuration_is_honored() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    // the DBA insists fact is partitioned by month
+    let user = Configuration::from_structures([PhysicalStructure::TablePartitioning {
+        database: "d".into(),
+        table: "fact".into(),
+        scheme: RangePartitioning::new("m", (1..12).map(Value::Int).collect()),
+    }]);
+    let options = TuningOptions {
+        parallel_workers: 1,
+        user_specified: Some(user.clone()),
+        ..Default::default()
+    };
+    let result = tune(&target, &workload, &options).unwrap();
+    for s in user.iter() {
+        assert!(
+            result.recommendation.contains(s),
+            "user-specified structure missing:\n{}",
+            result.recommendation
+        );
+    }
+}
+
+#[test]
+fn invalid_user_configuration_rejected() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    // two clusterings on one table: the paper's own invalid example
+    let user = Configuration::from_structures([
+        PhysicalStructure::Index(Index::clustered("d", "fact", &["a"])),
+        PhysicalStructure::Index(Index::clustered("d", "fact", &["g"])),
+    ]);
+    let options = TuningOptions { user_specified: Some(user), ..Default::default() };
+    let err = tune(&target, &workload, &options);
+    assert!(matches!(err, Err(dta_core::session::TuneError::InvalidUserConfiguration(_))));
+}
+
+#[test]
+fn alignment_produces_aligned_recommendation() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    let options = TuningOptions {
+        parallel_workers: 1,
+        alignment: AlignmentMode::Lazy,
+        ..Default::default()
+    };
+    let result = tune(&target, &workload, &options).unwrap();
+    assert!(
+        result.recommendation.is_aligned(),
+        "recommendation not aligned:\n{}",
+        result.recommendation
+    );
+    // alignment is a constraint: quality should be in the same ballpark
+    // as unconstrained tuning (greedy search is not strictly monotone, so
+    // allow wiggle in both directions)
+    let free = tune(
+        &target,
+        &workload,
+        &TuningOptions { parallel_workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    assert!(result.expected_improvement() > 0.3);
+    assert!((free.expected_improvement() - result.expected_improvement()).abs() < 0.25);
+}
+
+#[test]
+fn feature_subsets_restrict_recommendation() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    let options = TuningOptions {
+        parallel_workers: 1,
+        features: FeatureSet::indexes_only(),
+        ..Default::default()
+    };
+    let result = tune(&target, &workload, &options).unwrap();
+    for s in result.recommendation.iter() {
+        assert!(
+            matches!(s, PhysicalStructure::Index(_)),
+            "non-index structure recommended with indexes-only: {s:?}"
+        );
+    }
+}
+
+#[test]
+fn compression_preserves_quality_and_cuts_work() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+
+    let with = tune(
+        &target,
+        &workload,
+        &TuningOptions { parallel_workers: 1, compress: true, ..Default::default() },
+    )
+    .unwrap();
+    let without = tune(
+        &target,
+        &workload,
+        &TuningOptions { parallel_workers: 1, compress: false, ..Default::default() },
+    )
+    .unwrap();
+
+    assert!(with.statements_tuned < without.statements_tuned);
+
+    // quality measured on the full workload is nearly identical
+    let base = server.raw_configuration();
+    let base_cost = workload_cost(&target, &workload, &base).unwrap();
+    let q_with =
+        1.0 - workload_cost(&target, &workload, &with.recommendation).unwrap() / base_cost;
+    let q_without =
+        1.0 - workload_cost(&target, &workload, &without.recommendation).unwrap() / base_cost;
+    assert!(
+        q_without - q_with < 0.05,
+        "compression lost too much quality: {q_with:.3} vs {q_without:.3}"
+    );
+}
+
+#[test]
+fn time_budget_limits_work() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    let tiny_budget = TuningOptions {
+        parallel_workers: 1,
+        time_budget_units: Some(200.0),
+        ..Default::default()
+    };
+    let result = tune(&target, &workload, &tiny_budget).unwrap();
+    // it finishes and does not blow the budget by more than one call's worth
+    assert!(result.tuning_work_units < 2000.0, "spent {}", result.tuning_work_units);
+}
+
+#[test]
+fn evaluate_mode_reports_changes() {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let workload = read_workload();
+    let current = server.raw_configuration();
+    let proposed = current.union(&Configuration::from_structures([PhysicalStructure::Index(
+        Index::non_clustered("d", "fact", &["a"], &["pad"]),
+    )]));
+    let report =
+        dta_core::evaluate_configuration(&target, &workload, &current, &proposed).unwrap();
+    assert!(report.change_percent() < -10.0, "change {}", report.change_percent());
+    assert_eq!(report.statements.len(), workload.len());
+    let usage = report.structure_usage();
+    assert!(usage.iter().any(|(name, n)| name.contains("idx_fact_a") && *n > 0), "{usage:?}");
+}

@@ -1,0 +1,79 @@
+//! Intermediate results: named-column row sets.
+
+use dta_catalog::Value;
+
+/// A column of an intermediate relation, identified by the binding it
+/// came from and the column name. Aggregate outputs use a synthetic
+/// binding of `"#agg"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColId {
+    pub binding: String,
+    pub column: String,
+}
+
+impl ColId {
+    /// Construct a column id.
+    pub fn new(binding: &str, column: &str) -> Self {
+        Self { binding: binding.to_string(), column: column.to_string() }
+    }
+}
+
+/// A materialized intermediate result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Relation {
+    pub cols: Vec<ColId>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Empty relation with a schema.
+    pub fn new(cols: Vec<ColId>) -> Self {
+        Self { cols, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resolve a (possibly unqualified) column reference to its position.
+    /// Unqualified names match any binding; the first hit wins.
+    pub fn position(&self, binding: Option<&str>, column: &str) -> Option<usize> {
+        self.cols.iter().position(|c| {
+            c.column == column && binding.map_or(true, |b| c.binding == b)
+        })
+    }
+
+    /// Concatenate schemas and cross rows of two relations (used by
+    /// joins; callers pair up row indexes).
+    pub fn concat_schema(a: &Relation, b: &Relation) -> Vec<ColId> {
+        a.cols.iter().chain(b.cols.iter()).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_resolution() {
+        let r = Relation::new(vec![ColId::new("t", "a"), ColId::new("u", "a"), ColId::new("u", "b")]);
+        assert_eq!(r.position(Some("u"), "a"), Some(1));
+        assert_eq!(r.position(None, "a"), Some(0));
+        assert_eq!(r.position(None, "b"), Some(2));
+        assert_eq!(r.position(Some("t"), "b"), None);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut r = Relation::new(vec![ColId::new("t", "a")]);
+        assert!(r.is_empty());
+        r.rows.push(vec![Value::Int(1)]);
+        assert_eq!(r.len(), 1);
+    }
+}

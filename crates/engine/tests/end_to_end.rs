@@ -1,0 +1,334 @@
+//! End-to-end: optimize a statement under a configuration, execute the
+//! plan, check both the answers and the estimated-vs-actual work shape.
+
+use dta_catalog::{Catalog, Column, ColumnType, Database, Table, Value};
+use dta_engine::{Engine, ExecError};
+use dta_optimizer::{HardwareParams, TableStatsProvider, WhatIfOptimizer};
+use dta_physical::{
+    Configuration, Index, MaterializedView, PhysicalStructure, QualifiedColumn, RangePartitioning,
+    ViewAggregate,
+};
+use dta_sql::parse_statement;
+use dta_stats::{build_statistic, StatKey, StatisticsManager};
+use dta_storage::{Store, WorkCounter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct StoreSizes<'a>(&'a Store);
+
+impl TableStatsProvider for StoreSizes<'_> {
+    fn rows(&self, database: &str, table: &str) -> u64 {
+        self.0.table(database, table).map_or(0, |t| t.logical_rows())
+    }
+    fn row_width(&self, database: &str, table: &str) -> u32 {
+        self.0.table(database, table).map_or(64, |t| t.row_width())
+    }
+    fn column_width(&self, _d: &str, _t: &str, _c: &str) -> u32 {
+        8
+    }
+}
+
+/// Build a 2-table test database: orders (20k rows) and customer (1k).
+fn setup() -> (Catalog, Store, StatisticsManager) {
+    let mut db = Database::new("db");
+    db.add_table(
+        Table::new(
+            "customer",
+            vec![
+                Column::new("c_custkey", ColumnType::BigInt),
+                Column::new("c_nation", ColumnType::Int),
+            ],
+        )
+        .with_primary_key(&["c_custkey"]),
+    )
+    .unwrap();
+    db.add_table(
+        Table::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", ColumnType::BigInt),
+                Column::new("o_custkey", ColumnType::BigInt),
+                Column::new("o_price", ColumnType::Float),
+                Column::new("o_month", ColumnType::Int),
+            ],
+        )
+        .with_primary_key(&["o_orderkey"]),
+    )
+    .unwrap();
+    let mut cat = Catalog::new();
+    cat.add_database(db).unwrap();
+
+    let mut store = Store::new();
+    let dbo = cat.database("db").unwrap();
+    store.create_table("db", dbo.table("customer").unwrap());
+    store.create_table("db", dbo.table("orders").unwrap());
+    {
+        let c = store.table_mut("db", "customer").unwrap();
+        for i in 0..1000i64 {
+            c.push_row(vec![Value::Int(i), Value::Int(i % 25)]);
+        }
+        let o = store.table_mut("db", "orders").unwrap();
+        for i in 0..20_000i64 {
+            o.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 1000),
+                Value::Float((i % 97) as f64),
+                Value::Int(i % 12),
+            ]);
+        }
+    }
+
+    let mut stats = StatisticsManager::new();
+    let work = WorkCounter::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    for (t, cols) in [
+        ("customer", vec!["c_custkey", "c_nation"]),
+        ("orders", vec!["o_orderkey", "o_custkey", "o_month"]),
+    ] {
+        for c in cols {
+            let stat = build_statistic(
+                StatKey::new("db", t, &[c]),
+                store.table("db", t).unwrap(),
+                1.0,
+                &mut rng,
+                &work,
+            );
+            stats.add(stat);
+        }
+    }
+    (cat, store, stats)
+}
+
+fn run(
+    sql: &str,
+    config: &Configuration,
+    cat: &Catalog,
+    store: &Store,
+    stats: &StatisticsManager,
+) -> Result<(dta_engine::QueryResult, f64), ExecError> {
+    let sizes = StoreSizes(store);
+    let hw = HardwareParams::default();
+    let opt = WhatIfOptimizer::new(cat, stats, &sizes, hw);
+    let stmt = parse_statement(sql).unwrap();
+    let plan = opt.optimize("db", &stmt, config).expect("optimizes");
+    let engine = Engine::new(cat, store, hw);
+    let result = engine.execute_select("db", &stmt, &plan)?;
+    Ok((result, plan.cost))
+}
+
+#[test]
+fn scan_filter_results_correct() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT o_orderkey FROM orders WHERE o_month = 3 AND o_price > 50.0",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    // o_month = 3: i % 12 == 3; o_price > 50: i % 97 > 50
+    let expected = (0..20_000i64).filter(|i| i % 12 == 3 && (i % 97) as f64 > 50.0).count();
+    assert_eq!(res.rows.len(), expected);
+    assert_eq!(res.columns, vec!["o_orderkey"]);
+}
+
+#[test]
+fn group_by_results_correct() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT o_month, COUNT(*), SUM(o_price) FROM orders GROUP BY o_month ORDER BY o_month",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    assert_eq!(res.rows.len(), 12);
+    // months ordered 0..12; each has 20000/12 rounded rows
+    assert_eq!(res.rows[0][0], Value::Int(0));
+    let total: f64 = res
+        .rows
+        .iter()
+        .map(|r| r[1].as_f64().unwrap())
+        .sum();
+    assert_eq!(total as i64, 20_000);
+}
+
+#[test]
+fn join_results_correct() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND c_nation = 7",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    // customers with nation 7: 40 (1000/25); each has 20 orders
+    assert_eq!(res.rows[0][0], Value::Int(40 * 20));
+}
+
+#[test]
+fn index_reduces_actual_work_and_same_answers() {
+    let (cat, store, stats) = setup();
+    let sql = "SELECT o_price FROM orders WHERE o_custkey = 42";
+    let raw_cfg = Configuration::new();
+    let ix_cfg = Configuration::from_structures([PhysicalStructure::Index(
+        Index::non_clustered("db", "orders", &["o_custkey"], &["o_price"]),
+    )]);
+    let (raw, raw_est) = run(sql, &raw_cfg, &cat, &store, &stats).unwrap();
+    let (ix, ix_est) = run(sql, &ix_cfg, &cat, &store, &stats).unwrap();
+    assert_eq!(raw.rows.len(), 20);
+    assert_eq!(ix.rows.len(), 20);
+    // both the estimate and the actual work drop with the index
+    assert!(ix_est < raw_est, "est {ix_est} !< {raw_est}");
+    assert!(
+        ix.work.work_units() < raw.work.work_units(),
+        "actual {} !< {}",
+        ix.work.work_units(),
+        raw.work.work_units()
+    );
+}
+
+#[test]
+fn partitioning_reduces_actual_scan_work() {
+    let (cat, store, stats) = setup();
+    let sql = "SELECT COUNT(*) FROM orders WHERE o_month = 3";
+    let part_cfg = Configuration::from_structures([PhysicalStructure::TablePartitioning {
+        database: "db".into(),
+        table: "orders".into(),
+        scheme: RangePartitioning::new("o_month", (0..11).map(Value::Int).collect()),
+    }]);
+    let (raw, _) = run(sql, &Configuration::new(), &cat, &store, &stats).unwrap();
+    let (part, _) = run(sql, &part_cfg, &cat, &store, &stats).unwrap();
+    assert_eq!(raw.rows[0][0], part.rows[0][0]);
+    assert!(part.work.io_pages < raw.work.io_pages * 0.5);
+}
+
+#[test]
+fn materialized_view_answers_grouping() {
+    let (cat, store, stats) = setup();
+    let sql = "SELECT o_month, COUNT(*), SUM(o_price) FROM orders GROUP BY o_month";
+    let mv = MaterializedView::grouped(
+        "db",
+        &["orders"],
+        vec![],
+        vec![QualifiedColumn::new("orders", "o_month")],
+        vec![
+            ViewAggregate::count_star(),
+            ViewAggregate::column(dta_sql::AggFunc::Sum, QualifiedColumn::new("orders", "o_price")),
+        ],
+    );
+    let cfg = Configuration::from_structures([PhysicalStructure::View(mv)]);
+    let (raw, _) = run(sql, &Configuration::new(), &cat, &store, &stats).unwrap();
+    let (via_view, _) = run(sql, &cfg, &cat, &store, &stats).unwrap();
+    assert_eq!(raw.rows.len(), via_view.rows.len());
+    // same aggregate totals regardless of plan
+    let sum = |rows: &Vec<Vec<Value>>, i: usize| -> f64 {
+        rows.iter().map(|r| r[i].as_f64().unwrap()).sum()
+    };
+    assert_eq!(sum(&raw.rows, 1) as i64, sum(&via_view.rows, 1) as i64);
+    assert!((sum(&raw.rows, 2) - sum(&via_view.rows, 2)).abs() < 1e-6);
+    // and the view slashes the actual work
+    assert!(via_view.work.work_units() < raw.work.work_units() * 0.3);
+}
+
+#[test]
+fn estimated_and_actual_improvements_are_close() {
+    // the §7.2 effect in miniature: estimated improvement ≈ actual
+    let (cat, store, stats) = setup();
+    let sql = "SELECT o_month, SUM(o_price) FROM orders WHERE o_custkey < 100 GROUP BY o_month";
+    let cfg = Configuration::from_structures([PhysicalStructure::Index(
+        Index::non_clustered("db", "orders", &["o_custkey"], &["o_month", "o_price"]),
+    )]);
+    let (raw, raw_est) = run(sql, &Configuration::new(), &cat, &store, &stats).unwrap();
+    let (tuned, tuned_est) = run(sql, &cfg, &cat, &store, &stats).unwrap();
+    let est_improvement = 1.0 - tuned_est / raw_est;
+    let act_improvement = 1.0 - tuned.work.work_units() / raw.work.work_units();
+    assert!(est_improvement > 0.3, "est {est_improvement}");
+    assert!(act_improvement > 0.3, "act {act_improvement}");
+    assert!(
+        (est_improvement - act_improvement).abs() < 0.35,
+        "est {est_improvement} vs act {act_improvement}"
+    );
+}
+
+#[test]
+fn top_and_order_by() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT TOP 5 o_orderkey FROM orders WHERE o_month = 1 ORDER BY o_price DESC",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    assert_eq!(res.rows.len(), 5);
+}
+
+#[test]
+fn having_filters_groups() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT c_nation, COUNT(*) FROM customer GROUP BY c_nation HAVING COUNT(*) > 39",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    // every nation has exactly 40 customers -> all 25 groups pass
+    assert_eq!(res.rows.len(), 25);
+    let (res2, _) = run(
+        "SELECT c_nation, COUNT(*) FROM customer GROUP BY c_nation HAVING COUNT(*) > 40",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    assert_eq!(res2.rows.len(), 0);
+}
+
+#[test]
+fn distinct_dedupes() {
+    let (cat, store, stats) = setup();
+    let (res, _) = run(
+        "SELECT DISTINCT o_month FROM orders",
+        &Configuration::new(),
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    assert_eq!(res.rows.len(), 12);
+}
+
+#[test]
+fn missing_table_data_errors() {
+    let (cat, _store, stats) = setup();
+    let empty_store = Store::new();
+    let err = run("SELECT o_price FROM orders", &Configuration::new(), &cat, &empty_store, &stats);
+    assert!(matches!(err, Err(ExecError::MissingData(_))));
+}
+
+#[test]
+fn index_nested_loop_join_correct() {
+    let (cat, store, stats) = setup();
+    // index on orders.o_custkey, selective predicate on customer
+    let cfg = Configuration::from_structures([PhysicalStructure::Index(
+        Index::non_clustered("db", "orders", &["o_custkey"], &["o_price"]),
+    )]);
+    let (res, _) = run(
+        "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND c_nation = 3",
+        &cfg,
+        &cat,
+        &store,
+        &stats,
+    )
+    .unwrap();
+    assert_eq!(res.rows[0][0], Value::Int(40 * 20));
+}

@@ -1,0 +1,75 @@
+//! Hardware parameters the cost model is sensitive to.
+//!
+//! §5.3: "the hardware parameters of production server that are modeled
+//! by the query optimizer ... need to be appropriately simulated on the
+//! test server. For example, since query optimizer's cost model considers
+//! the number of CPUs and the available memory, these parameters need to
+//! be part of the interface that DTA uses to make a what-if call."
+
+/// CPU and memory characteristics of the server being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareParams {
+    /// Number of CPUs available for parallel operators.
+    pub cpus: u32,
+    /// Memory available to query execution, in bytes. Bounds hash tables
+    /// and in-memory sorts; exceeding it spills.
+    pub memory_bytes: u64,
+}
+
+impl HardwareParams {
+    /// A modest production server: 4 CPUs, 256 MB of query memory.
+    pub fn production_default() -> Self {
+        Self { cpus: 4, memory_bytes: 256 << 20 }
+    }
+
+    /// A small test server: 1 CPU, 64 MB.
+    pub fn test_default() -> Self {
+        Self { cpus: 1, memory_bytes: 64 << 20 }
+    }
+
+    /// Degree of parallelism usable by a large scan or join: capped so
+    /// small inputs do not get imaginary speedups.
+    pub fn parallel_factor(&self, input_pages: f64) -> f64 {
+        if input_pages < 512.0 || self.cpus <= 1 {
+            1.0
+        } else {
+            f64::from(self.cpus.min(8))
+        }
+    }
+
+    /// Memory available in pages.
+    pub fn memory_pages(&self) -> u64 {
+        self.memory_bytes / dta_storage::PAGE_SIZE
+    }
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        Self::production_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_applies_only_to_large_inputs() {
+        let h = HardwareParams { cpus: 4, memory_bytes: 1 << 30 };
+        assert_eq!(h.parallel_factor(10.0), 1.0);
+        assert_eq!(h.parallel_factor(10_000.0), 4.0);
+        let single = HardwareParams { cpus: 1, memory_bytes: 1 << 30 };
+        assert_eq!(single.parallel_factor(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn memory_pages() {
+        let h = HardwareParams { cpus: 1, memory_bytes: 8192 * 100 };
+        assert_eq!(h.memory_pages(), 100);
+    }
+
+    #[test]
+    fn defaults_differ() {
+        assert_ne!(HardwareParams::production_default(), HardwareParams::test_default());
+    }
+}

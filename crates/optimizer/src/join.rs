@@ -1,0 +1,460 @@
+//! Greedy join ordering with hash and index-nested-loop joins.
+
+use crate::access::{access_options, best_option, PlanContext, CPU_W, SEEK_DESCENT_PAGES};
+use crate::plan::{AccessMethod, PlanNode, TableAccess};
+use crate::query::{BoundColumn, BoundSelect, JoinPred};
+use crate::selectivity::RESIDUAL_SEL;
+use dta_physical::{IndexKind, RangePartitioning};
+use dta_storage::{pages_for, PAGE_SIZE};
+use std::collections::BTreeSet;
+
+/// An in-progress join tree.
+pub struct JoinState {
+    pub node: PlanNode,
+    pub bindings: BTreeSet<String>,
+    /// Sort order the stream currently has.
+    pub order: Vec<BoundColumn>,
+    /// Partitioning the stream retains.
+    pub partitioned_on: Option<(BoundColumn, RangePartitioning)>,
+    /// Estimated row width of the stream in bytes.
+    pub width: f64,
+}
+
+impl JoinState {
+    fn rows(&self) -> f64 {
+        self.node.est_rows()
+    }
+
+    fn cost(&self) -> f64 {
+        self.node.est_cost()
+    }
+}
+
+fn leaf_state(ctx: &PlanContext<'_>, bound: &BoundSelect, binding: &str) -> JoinState {
+    let table = bound.table_of(binding).expect("bound binding");
+    let sargs = bound.sargs_for(binding);
+    let residuals = bound.residuals.get(binding).copied().unwrap_or(0);
+    let required = bound.referenced_for(binding);
+    let opts = access_options(ctx, binding, table, &sargs, residuals, &required);
+    let best = best_option(opts, None).expect("heap scan always available");
+    let width: f64 = required
+        .iter()
+        .map(|c| ctx.sizes.column_width(ctx.database, table, c) as f64)
+        .sum::<f64>()
+        .max(8.0);
+    JoinState {
+        node: PlanNode::Access(best.access),
+        bindings: BTreeSet::from([binding.to_string()]),
+        order: best.order,
+        partitioned_on: best.partitioned_on,
+        width,
+    }
+}
+
+/// Join predicates connecting the current set to `binding`.
+fn connecting<'p>(preds: &'p [JoinPred], set: &BTreeSet<String>, binding: &str) -> Vec<&'p JoinPred> {
+    preds
+        .iter()
+        .filter(|p| {
+            (set.contains(&p.left.binding) && p.right.binding == binding)
+                || (set.contains(&p.right.binding) && p.left.binding == binding)
+        })
+        .collect()
+}
+
+/// Combined selectivity of a set of join predicates.
+fn join_sel(ctx: &PlanContext<'_>, bound: &BoundSelect, preds: &[&JoinPred]) -> f64 {
+    let mut sel = 1.0;
+    for p in preds {
+        let lt = bound.table_of(&p.left.binding).expect("bound");
+        let rt = bound.table_of(&p.right.binding).expect("bound");
+        let lr = ctx.sizes.rows(ctx.database, lt) as f64;
+        let rr = ctx.sizes.rows(ctx.database, rt) as f64;
+        sel *= ctx.estimator.join_selectivity(
+            lt,
+            &p.left.column,
+            lr,
+            rt,
+            &p.right.column,
+            rr,
+        );
+    }
+    sel
+}
+
+/// Hash-join cost of combining `a` (as one side) and `b`, picking the
+/// smaller side as build. Returns `(incremental_cost, partition_wise)`.
+fn hash_join_cost(
+    ctx: &PlanContext<'_>,
+    a: &JoinState,
+    b: &JoinState,
+    preds: &[&JoinPred],
+    out_rows: f64,
+) -> (f64, bool) {
+    let (build, probe) = if a.rows() <= b.rows() { (a, b) } else { (b, a) };
+    let build_bytes = build.rows() * build.width;
+    let probe_bytes = probe.rows() * probe.width;
+
+    // co-partitioned inputs on the join keys let each partition's hash
+    // table fit in a fraction of the memory
+    let partition_wise = match (&a.partitioned_on, &b.partitioned_on) {
+        (Some((ca, pa)), Some((cb, pb))) => {
+            pa.boundaries == pb.boundaries
+                && preds.iter().any(|p| {
+                    (p.left == *ca && p.right == *cb) || (p.left == *cb && p.right == *ca)
+                })
+        }
+        _ => false,
+    };
+    let mem = ctx.hardware.memory_bytes as f64
+        * if partition_wise {
+            match &a.partitioned_on {
+                Some((_, p)) => p.partition_count() as f64,
+                None => 1.0,
+            }
+        } else {
+            1.0
+        };
+
+    let mut cpu = 2.0 * build.rows() + probe.rows() + out_rows;
+    let total_pages = (build_bytes + probe_bytes) / PAGE_SIZE as f64;
+    cpu /= ctx.hardware.parallel_factor(total_pages);
+    let mut io = 0.0;
+    if build_bytes > mem {
+        // grace hash join: write and re-read both inputs
+        io += 2.0 * (build_bytes + probe_bytes) / PAGE_SIZE as f64;
+    }
+    (io + cpu * CPU_W, partition_wise)
+}
+
+/// Index-nested-loop cost: probe `inner` once per outer row via an index
+/// whose leading key is the join column. Returns the inner access spec
+/// and the incremental cost, if any suitable index exists.
+fn inl_join(
+    ctx: &PlanContext<'_>,
+    bound: &BoundSelect,
+    outer: &JoinState,
+    inner_binding: &str,
+    preds: &[&JoinPred],
+) -> Option<(TableAccess, f64)> {
+    let inner_table = bound.table_of(inner_binding)?;
+    let inner_rows = ctx.sizes.rows(ctx.database, inner_table) as f64;
+    let required = bound.referenced_for(inner_binding);
+    let inner_sargs = bound.sargs_for(inner_binding);
+    let inner_residuals = bound.residuals.get(inner_binding).copied().unwrap_or(0);
+    let local_sel = ctx.estimator.table_selectivity(inner_table, &inner_sargs, inner_residuals);
+
+    // join columns on the inner side
+    let join_cols: Vec<&str> = preds
+        .iter()
+        .filter_map(|p| p.side_for(inner_binding).map(|c| c.column.as_str()))
+        .collect();
+
+    let mut best: Option<(TableAccess, f64)> = None;
+    for ix in ctx.config.indexes_on(ctx.database, inner_table) {
+        let Some(first_key) = ix.key_columns.first() else { continue };
+        if !join_cols.contains(&first_key.as_str()) {
+            continue;
+        }
+        let covering =
+            ix.kind == IndexKind::Clustered || ix.covers(&required);
+        let distinct =
+            ctx.estimator.distinct_count(inner_table, first_key, inner_rows.max(1.0));
+        let matched_per_probe = (inner_rows / distinct).max(0.0);
+        let leaf_width: u32 = if ix.kind == IndexKind::Clustered {
+            ctx.sizes.row_width(ctx.database, inner_table)
+        } else {
+            ix.leaf_columns()
+                .map(|c| ctx.sizes.column_width(ctx.database, inner_table, c))
+                .sum::<u32>()
+                + dta_physical::sizing::ROW_LOCATOR_BYTES
+                + dta_physical::sizing::ROW_OVERHEAD_BYTES
+        };
+        let leaf_pages = pages_for(inner_rows as u64, leaf_width) as f64;
+        let leaf_per_probe = (leaf_pages / distinct).min(matched_per_probe).max(0.06);
+        let lookups = if covering { 0.0 } else { matched_per_probe * local_sel };
+        let per_probe = SEEK_DESCENT_PAGES * 0.5 // upper levels cache well under repeated probes
+            + leaf_per_probe
+            + lookups
+            + matched_per_probe * CPU_W;
+        let out_per_probe = matched_per_probe * local_sel;
+        let cost_per_probe = per_probe;
+        let access = TableAccess {
+            database: ctx.database.to_string(),
+            table: inner_table.to_string(),
+            binding: inner_binding.to_string(),
+            method: if ix.kind == IndexKind::Clustered {
+                AccessMethod::ClusteredSeek { index: ix.clone(), seek_len: 1 }
+            } else {
+                AccessMethod::IndexSeek { index: ix.clone(), seek_len: 1, covering }
+            },
+            sargs: inner_sargs.iter().map(|s| (*s).clone()).collect(),
+            residuals: inner_residuals,
+            partition_fraction: 1.0,
+            est_rows: out_per_probe,
+            est_cost: cost_per_probe,
+        };
+        let total = outer.rows() * cost_per_probe;
+        if best.as_ref().map_or(true, |(_, c)| total < *c) {
+            best = Some((access, total));
+        }
+    }
+    best
+}
+
+/// Plan the join of all tables in `bound`, returning the resulting state.
+pub fn plan_joins(ctx: &PlanContext<'_>, bound: &BoundSelect) -> JoinState {
+    let mut leaves: Vec<JoinState> =
+        bound.tables.iter().map(|t| leaf_state(ctx, bound, &t.binding)).collect();
+
+    // start from the smallest estimated leaf
+    let start = leaves
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.rows().total_cmp(&b.rows()))
+        .map(|(i, _)| i)
+        .expect("at least one table");
+    let mut cur = leaves.swap_remove(start);
+
+    while !leaves.is_empty() {
+        // candidates connected by a join predicate, or everything if none
+        let mut best: Option<(usize, f64, JoinState)> = None;
+        for (i, cand) in leaves.iter().enumerate() {
+            let binding = cand.bindings.iter().next().expect("leaf has one binding").clone();
+            let preds = connecting(&bound.joins, &cur.bindings, &binding);
+            let sel = if preds.is_empty() { 1.0 } else { join_sel(ctx, bound, &preds) };
+            let out_rows = (cur.rows() * cand.rows() * sel).max(0.0);
+
+            // hash join option
+            let (hj_incr, partition_wise) = hash_join_cost(ctx, &cur, cand, &preds, out_rows);
+            let hj_total = cur.cost() + cand.cost() + hj_incr
+                + if preds.is_empty() {
+                    // discourage cross joins strongly
+                    cur.rows() * cand.rows() * CPU_W * 10.0
+                } else {
+                    0.0
+                };
+            let mut choice_cost = hj_total;
+            let mut choice = JoinState {
+                node: PlanNode::HashJoin {
+                    left: Box::new(cur.node.clone()),
+                    right: Box::new(cand.node.clone()),
+                    pairs: preds.iter().map(|p| (*p).clone()).collect(),
+                    partition_wise,
+                    est_rows: out_rows,
+                    est_cost: hj_total,
+                },
+                bindings: cur.bindings.union(&cand.bindings).cloned().collect(),
+                order: Vec::new(), // hash join destroys order
+                partitioned_on: if partition_wise { cur.partitioned_on.clone() } else { None },
+                width: cur.width + cand.width,
+            };
+
+            // index-nested-loop option (candidate as inner)
+            if !preds.is_empty() {
+                if let Some((inner_access, probe_cost)) =
+                    inl_join(ctx, bound, &cur, &binding, &preds)
+                {
+                    let inl_total = cur.cost() + probe_cost + out_rows * CPU_W;
+                    if inl_total < choice_cost {
+                        choice_cost = inl_total;
+                        choice = JoinState {
+                            node: PlanNode::IndexNLJoin {
+                                outer: Box::new(cur.node.clone()),
+                                inner: inner_access,
+                                pairs: preds.iter().map(|p| (*p).clone()).collect(),
+                                est_rows: out_rows,
+                                est_cost: inl_total,
+                            },
+                            bindings: cur.bindings.union(&cand.bindings).cloned().collect(),
+                            order: cur.order.clone(), // outer order preserved
+                            partitioned_on: None,
+                            width: cur.width + cand.width,
+                        };
+                    }
+                }
+            }
+
+            if best.as_ref().map_or(true, |(_, c, _)| choice_cost < *c) {
+                best = Some((i, choice_cost, choice));
+            }
+        }
+        let (idx, _, state) = best.expect("non-empty leaves");
+        leaves.swap_remove(idx);
+        cur = state;
+    }
+
+    // cross-table residuals reduce output cardinality
+    if bound.cross_residuals > 0 {
+        let factor = RESIDUAL_SEL.powi(bound.cross_residuals as i32);
+        scale_rows(&mut cur.node, factor);
+    }
+    cur
+}
+
+fn scale_rows(node: &mut PlanNode, factor: f64) {
+    match node {
+        PlanNode::Access(a) => a.est_rows *= factor,
+        PlanNode::ViewScan { est_rows, .. }
+        | PlanNode::HashJoin { est_rows, .. }
+        | PlanNode::IndexNLJoin { est_rows, .. }
+        | PlanNode::HashAggregate { est_rows, .. }
+        | PlanNode::StreamAggregate { est_rows, .. }
+        | PlanNode::Sort { est_rows, .. }
+        | PlanNode::Top { est_rows, .. }
+        | PlanNode::Update { est_rows, .. }
+        | PlanNode::Delete { est_rows, .. } => *est_rows *= factor,
+        PlanNode::Insert { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareParams;
+    use crate::provider::FixedSizes;
+    use crate::query::{bind, BoundStatement};
+    use crate::selectivity::Estimator;
+    use dta_catalog::{Catalog, Column, ColumnType, Database, Table};
+    use dta_physical::{Configuration, Index, PhysicalStructure};
+    use dta_sql::parse_statement;
+    use dta_stats::StatisticsManager;
+
+    fn catalog() -> Catalog {
+        let mut db = Database::new("db");
+        db.add_table(Table::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", ColumnType::BigInt),
+                Column::new("o_custkey", ColumnType::BigInt),
+                Column::new("o_date", ColumnType::Date),
+            ],
+        ))
+        .unwrap();
+        db.add_table(Table::new(
+            "lineitem",
+            vec![
+                Column::new("l_orderkey", ColumnType::BigInt),
+                Column::new("l_qty", ColumnType::Float),
+            ],
+        ))
+        .unwrap();
+        db.add_table(Table::new(
+            "customer",
+            vec![Column::new("c_custkey", ColumnType::BigInt), Column::new("c_name", ColumnType::Str(25))],
+        ))
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.add_database(db).unwrap();
+        cat
+    }
+
+    fn sizes() -> FixedSizes {
+        FixedSizes::default()
+            .with_table("db", "orders", 150_000, 24)
+            .with_table("db", "lineitem", 600_000, 16)
+            .with_table("db", "customer", 15_000, 33)
+    }
+
+    fn bound(cat: &Catalog, sql: &str) -> BoundSelect {
+        match bind(cat, "db", &parse_statement(sql).unwrap()).unwrap() {
+            BoundStatement::Select(s) => s,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_table_hash_join() {
+        let cat = catalog();
+        let stats = StatisticsManager::new();
+        let config = Configuration::new();
+        let sz = sizes();
+        let ctx = PlanContext {
+            estimator: Estimator::new(&stats, "db"),
+            config: &config,
+            sizes: &sz,
+            hardware: HardwareParams::default(),
+            database: "db",
+        };
+        let b = bound(&cat, "SELECT o_date FROM orders, lineitem WHERE o_orderkey = l_orderkey");
+        let state = plan_joins(&ctx, &b);
+        assert_eq!(state.bindings.len(), 2);
+        assert!(matches!(state.node, PlanNode::HashJoin { .. }));
+        assert!(state.node.est_cost() > 0.0);
+    }
+
+    #[test]
+    fn index_enables_nested_loop() {
+        let cat = catalog();
+        let stats = StatisticsManager::new();
+        // selective predicate on customer + index on orders join column
+        let config = Configuration::from_structures([
+            PhysicalStructure::Index(Index::non_clustered("db", "customer", &["c_name"], &[])),
+            PhysicalStructure::Index(Index::non_clustered(
+                "db",
+                "orders",
+                &["o_custkey"],
+                &["o_date"],
+            )),
+        ]);
+        let sz = sizes();
+        let ctx = PlanContext {
+            estimator: Estimator::new(&stats, "db"),
+            config: &config,
+            sizes: &sz,
+            hardware: HardwareParams::default(),
+            database: "db",
+        };
+        let b = bound(
+            &cat,
+            "SELECT o_date FROM customer, orders WHERE c_custkey = o_custkey AND c_name = 'Customer#1'",
+        );
+        let state = plan_joins(&ctx, &b);
+        assert!(
+            matches!(state.node, PlanNode::IndexNLJoin { .. }),
+            "expected INL, got:\n{}",
+            state.node
+        );
+    }
+
+    #[test]
+    fn three_table_join_covers_all_bindings() {
+        let cat = catalog();
+        let stats = StatisticsManager::new();
+        let config = Configuration::new();
+        let sz = sizes();
+        let ctx = PlanContext {
+            estimator: Estimator::new(&stats, "db"),
+            config: &config,
+            sizes: &sz,
+            hardware: HardwareParams::default(),
+            database: "db",
+        };
+        let b = bound(
+            &cat,
+            "SELECT c_name FROM customer, orders, lineitem WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey",
+        );
+        let state = plan_joins(&ctx, &b);
+        assert_eq!(state.bindings.len(), 3);
+    }
+
+    #[test]
+    fn cross_join_fallback() {
+        let cat = catalog();
+        let stats = StatisticsManager::new();
+        let config = Configuration::new();
+        let sz = sizes();
+        let ctx = PlanContext {
+            estimator: Estimator::new(&stats, "db"),
+            config: &config,
+            sizes: &sz,
+            hardware: HardwareParams::default(),
+            database: "db",
+        };
+        let b = bound(&cat, "SELECT c_name FROM customer, lineitem");
+        let state = plan_joins(&ctx, &b);
+        assert_eq!(state.bindings.len(), 2);
+        // the cross join is very expensive
+        assert!(state.node.est_cost() > 1000.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cost-based query optimizer with **what-if** interfaces.
+//!
+//! DTA's cost model *is* the query optimizer (§2.2 "DTA's Cost Model"):
+//! for a query `Q` and a hypothetical configuration `C`, DTA obtains the
+//! optimizer-estimated cost of `Q` as if `C` were materialized, and
+//! recommends the configuration with the lowest estimated workload cost.
+//! This crate is the substrate standing in for SQL Server's optimizer and
+//! its what-if plumbing ([9] in the paper):
+//!
+//! * [`query`] — the binder, producing analyzed single/multi-table query
+//!   descriptions (sargable predicates, equi-joins, grouping, required
+//!   columns);
+//! * [`selectivity`] — cardinality estimation from histograms and
+//!   densities;
+//! * [`plan`] — physical plan trees with per-node estimated rows/cost,
+//!   interpretable by the execution engine;
+//! * [`access`] — single-table access-path selection (heap scan,
+//!   clustered/non-clustered seek, covering scan, partition elimination);
+//! * [`join`] — greedy join ordering with hash and index-nested-loop
+//!   joins;
+//! * [`views`] — materialized-view matching;
+//! * [`dml`] — update/insert/delete costing including index and view
+//!   maintenance;
+//! * [`whatif`] — the [`WhatIfOptimizer`] facade: `optimize(query,
+//!   configuration)` returns a [`plan::Plan`] whose estimated cost is in
+//!   the same work units the execution engine meters, and whose
+//!   hardware parameters (CPUs, memory) can be overridden to simulate a
+//!   production server on a test server (§5.3).
+
+pub mod access;
+pub mod dml;
+pub mod hardware;
+pub mod join;
+pub mod plan;
+pub mod provider;
+pub mod query;
+pub mod selectivity;
+pub mod views;
+pub mod whatif;
+
+pub use hardware::HardwareParams;
+pub use plan::{Plan, PlanNode};
+pub use query::{BindError, BoundSelect, Sarg, SargOp};
+pub use provider::TableStatsProvider;
+pub use whatif::WhatIfOptimizer;

@@ -1,0 +1,421 @@
+//! Physical plan trees.
+//!
+//! Every node carries its estimated output rows and the *cumulative*
+//! estimated cost of its subtree, in the same work units the execution
+//! engine meters (pages + weighted CPU operations). Plans are
+//! self-contained enough for the engine to interpret.
+
+use crate::query::{BoundColumn, JoinPred, Sarg};
+use dta_physical::{Index, MaterializedView};
+use std::fmt;
+
+/// How a base table is read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessMethod {
+    /// Full scan of the heap (or of the clustered index).
+    HeapScan,
+    /// Seek on a leading prefix of the clustered index key.
+    ClusteredSeek { index: Index, seek_len: usize },
+    /// Seek on a leading prefix of a non-clustered index key; `covering`
+    /// records whether row lookups are avoided.
+    IndexSeek { index: Index, seek_len: usize, covering: bool },
+    /// Full scan of a covering non-clustered index (narrower than the
+    /// heap).
+    CoveringScan { index: Index },
+}
+
+impl AccessMethod {
+    /// The index used, if any.
+    pub fn index(&self) -> Option<&Index> {
+        match self {
+            AccessMethod::HeapScan => None,
+            AccessMethod::ClusteredSeek { index, .. }
+            | AccessMethod::IndexSeek { index, .. }
+            | AccessMethod::CoveringScan { index } => Some(index),
+        }
+    }
+
+    /// Short tag for EXPLAIN output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AccessMethod::HeapScan => "HeapScan",
+            AccessMethod::ClusteredSeek { .. } => "ClusteredSeek",
+            AccessMethod::IndexSeek { covering: true, .. } => "IndexSeek(covering)",
+            AccessMethod::IndexSeek { .. } => "IndexSeek+Lookup",
+            AccessMethod::CoveringScan { .. } => "CoveringScan",
+        }
+    }
+}
+
+/// A single-table access operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAccess {
+    pub database: String,
+    pub table: String,
+    pub binding: String,
+    pub method: AccessMethod,
+    /// All sargable predicates on this table (engine applies them all).
+    pub sargs: Vec<Sarg>,
+    /// Count of residual conjuncts applied after access.
+    pub residuals: usize,
+    /// Fraction of partitions scanned (1.0 when unpartitioned or no
+    /// elimination applies).
+    pub partition_fraction: f64,
+    pub est_rows: f64,
+    pub est_cost: f64,
+}
+
+/// A plan operator; `est_cost` is cumulative over the subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Base-table access.
+    Access(TableAccess),
+    /// Scan of a materialized view standing in for `replaced` bindings.
+    ViewScan {
+        view: MaterializedView,
+        /// Query bindings the view replaces.
+        replaced: Vec<String>,
+        /// Sargs evaluated against view output columns.
+        sargs: Vec<Sarg>,
+        /// Whether the query's aggregation is already answered by the view
+        /// (no re-aggregation needed).
+        answers_grouping: bool,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// Hash join (build = left, probe = right).
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        pairs: Vec<JoinPred>,
+        /// True when both inputs were co-partitioned on the join keys.
+        partition_wise: bool,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// Index nested-loop join: for each outer row, seek `inner`.
+    IndexNLJoin {
+        outer: Box<PlanNode>,
+        inner: TableAccess,
+        pairs: Vec<JoinPred>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        input: Box<PlanNode>,
+        group_by: Vec<BoundColumn>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// Stream aggregation over already-ordered input.
+    StreamAggregate {
+        input: Box<PlanNode>,
+        group_by: Vec<BoundColumn>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// Explicit sort.
+    Sort {
+        input: Box<PlanNode>,
+        keys: Vec<(BoundColumn, bool)>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// TOP n truncation.
+    Top { input: Box<PlanNode>, n: u64, est_rows: f64, est_cost: f64 },
+    /// INSERT with structure maintenance.
+    Insert {
+        database: String,
+        table: String,
+        rows: u64,
+        /// Names of structures maintained by this statement.
+        maintained: Vec<String>,
+        est_cost: f64,
+    },
+    /// UPDATE: locate rows via `access`, write, maintain structures.
+    Update {
+        access: Box<PlanNode>,
+        set_columns: Vec<String>,
+        maintained: Vec<String>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// DELETE: locate rows via `access`, remove, maintain structures.
+    Delete {
+        access: Box<PlanNode>,
+        maintained: Vec<String>,
+        est_rows: f64,
+        est_cost: f64,
+    },
+}
+
+impl PlanNode {
+    /// Estimated output rows.
+    pub fn est_rows(&self) -> f64 {
+        match self {
+            PlanNode::Access(a) => a.est_rows,
+            PlanNode::ViewScan { est_rows, .. }
+            | PlanNode::HashJoin { est_rows, .. }
+            | PlanNode::IndexNLJoin { est_rows, .. }
+            | PlanNode::HashAggregate { est_rows, .. }
+            | PlanNode::StreamAggregate { est_rows, .. }
+            | PlanNode::Sort { est_rows, .. }
+            | PlanNode::Top { est_rows, .. }
+            | PlanNode::Update { est_rows, .. }
+            | PlanNode::Delete { est_rows, .. } => *est_rows,
+            PlanNode::Insert { rows, .. } => *rows as f64,
+        }
+    }
+
+    /// Cumulative estimated cost of the subtree.
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            PlanNode::Access(a) => a.est_cost,
+            PlanNode::ViewScan { est_cost, .. }
+            | PlanNode::HashJoin { est_cost, .. }
+            | PlanNode::IndexNLJoin { est_cost, .. }
+            | PlanNode::HashAggregate { est_cost, .. }
+            | PlanNode::StreamAggregate { est_cost, .. }
+            | PlanNode::Sort { est_cost, .. }
+            | PlanNode::Top { est_cost, .. }
+            | PlanNode::Insert { est_cost, .. }
+            | PlanNode::Update { est_cost, .. }
+            | PlanNode::Delete { est_cost, .. } => *est_cost,
+        }
+    }
+
+    /// Names of all physical structures (indexes, views) this subtree
+    /// uses for *access* (maintenance targets are not included).
+    pub fn used_structures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_used(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_used(&self, out: &mut Vec<String>) {
+        match self {
+            PlanNode::Access(a) => {
+                if let Some(ix) = a.method.index() {
+                    out.push(ix.name());
+                }
+                if a.partition_fraction < 1.0 {
+                    out.push(format!("partition_elimination({})", a.table));
+                }
+            }
+            PlanNode::ViewScan { view, .. } => out.push(view.name()),
+            PlanNode::HashJoin { left, right, .. } => {
+                left.collect_used(out);
+                right.collect_used(out);
+            }
+            PlanNode::IndexNLJoin { outer, inner, .. } => {
+                outer.collect_used(out);
+                if let Some(ix) = inner.method.index() {
+                    out.push(ix.name());
+                }
+            }
+            PlanNode::HashAggregate { input, .. }
+            | PlanNode::StreamAggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Top { input, .. } => input.collect_used(out),
+            PlanNode::Insert { .. } => {}
+            PlanNode::Update { access, .. } | PlanNode::Delete { access, .. } => {
+                access.collect_used(out)
+            }
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::Access(a) => writeln!(
+                f,
+                "{pad}{} {}.{} [rows={:.0} cost={:.1}{}]",
+                a.method.tag(),
+                a.table,
+                a.binding,
+                a.est_rows,
+                a.est_cost,
+                if a.partition_fraction < 1.0 {
+                    format!(" partitions={:.0}%", a.partition_fraction * 100.0)
+                } else {
+                    String::new()
+                }
+            ),
+            PlanNode::ViewScan { view, est_rows, est_cost, answers_grouping, .. } => writeln!(
+                f,
+                "{pad}ViewScan {} [rows={est_rows:.0} cost={est_cost:.1} answers_grouping={answers_grouping}]",
+                view.name()
+            ),
+            PlanNode::HashJoin { left, right, est_rows, est_cost, partition_wise, .. } => {
+                writeln!(
+                    f,
+                    "{pad}HashJoin{} [rows={est_rows:.0} cost={est_cost:.1}]",
+                    if *partition_wise { "(partition-wise)" } else { "" }
+                )?;
+                left.fmt_indent(f, depth + 1)?;
+                right.fmt_indent(f, depth + 1)
+            }
+            PlanNode::IndexNLJoin { outer, inner, est_rows, est_cost, .. } => {
+                writeln!(f, "{pad}IndexNLJoin [rows={est_rows:.0} cost={est_cost:.1}]")?;
+                outer.fmt_indent(f, depth + 1)?;
+                writeln!(
+                    f,
+                    "{}Inner: {} {} [rows/probe={:.1}]",
+                    "  ".repeat(depth + 1),
+                    inner.method.tag(),
+                    inner.table,
+                    inner.est_rows
+                )
+            }
+            PlanNode::HashAggregate { input, group_by, est_rows, est_cost } => {
+                writeln!(
+                    f,
+                    "{pad}HashAggregate groups={} [rows={est_rows:.0} cost={est_cost:.1}]",
+                    group_by.len()
+                )?;
+                input.fmt_indent(f, depth + 1)
+            }
+            PlanNode::StreamAggregate { input, group_by, est_rows, est_cost } => {
+                writeln!(
+                    f,
+                    "{pad}StreamAggregate groups={} [rows={est_rows:.0} cost={est_cost:.1}]",
+                    group_by.len()
+                )?;
+                input.fmt_indent(f, depth + 1)
+            }
+            PlanNode::Sort { input, keys, est_rows, est_cost } => {
+                writeln!(f, "{pad}Sort keys={} [rows={est_rows:.0} cost={est_cost:.1}]", keys.len())?;
+                input.fmt_indent(f, depth + 1)
+            }
+            PlanNode::Top { input, n, est_rows, est_cost } => {
+                writeln!(f, "{pad}Top {n} [rows={est_rows:.0} cost={est_cost:.1}]")?;
+                input.fmt_indent(f, depth + 1)
+            }
+            PlanNode::Insert { table, rows, maintained, est_cost, .. } => writeln!(
+                f,
+                "{pad}Insert {table} rows={rows} maintains={} [cost={est_cost:.1}]",
+                maintained.len()
+            ),
+            PlanNode::Update { access, set_columns, maintained, est_rows, est_cost } => {
+                writeln!(
+                    f,
+                    "{pad}Update set={} maintains={} [rows={est_rows:.0} cost={est_cost:.1}]",
+                    set_columns.len(),
+                    maintained.len()
+                )?;
+                access.fmt_indent(f, depth + 1)
+            }
+            PlanNode::Delete { access, maintained, est_rows, est_cost } => {
+                writeln!(
+                    f,
+                    "{pad}Delete maintains={} [rows={est_rows:.0} cost={est_cost:.1}]",
+                    maintained.len()
+                )?;
+                access.fmt_indent(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+/// A complete plan for one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub root: PlanNode,
+    /// Total estimated cost in work units.
+    pub cost: f64,
+    /// Estimated output (or affected) rows.
+    pub est_rows: f64,
+}
+
+impl Plan {
+    /// Wrap a root node.
+    pub fn new(root: PlanNode) -> Self {
+        let cost = root.est_cost();
+        let est_rows = root.est_rows();
+        Self { root, cost, est_rows }
+    }
+
+    /// Names of structures the plan uses.
+    pub fn used_structures(&self) -> Vec<String> {
+        self.root.used_structures()
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(cost: f64, rows: f64) -> TableAccess {
+        TableAccess {
+            database: "db".into(),
+            table: "t".into(),
+            binding: "t".into(),
+            method: AccessMethod::HeapScan,
+            sargs: vec![],
+            residuals: 0,
+            partition_fraction: 1.0,
+            est_rows: rows,
+            est_cost: cost,
+        }
+    }
+
+    #[test]
+    fn cumulative_costs() {
+        let join = PlanNode::HashJoin {
+            left: Box::new(PlanNode::Access(access(10.0, 100.0))),
+            right: Box::new(PlanNode::Access(access(20.0, 200.0))),
+            pairs: vec![],
+            partition_wise: false,
+            est_rows: 300.0,
+            est_cost: 50.0,
+        };
+        let plan = Plan::new(join);
+        assert_eq!(plan.cost, 50.0);
+        assert_eq!(plan.est_rows, 300.0);
+    }
+
+    #[test]
+    fn used_structures_collects_indexes_and_views() {
+        let ix = dta_physical::Index::non_clustered("db", "t", &["a"], &[]);
+        let mut a = access(5.0, 10.0);
+        a.method = AccessMethod::IndexSeek { index: ix.clone(), seek_len: 1, covering: true };
+        let node = PlanNode::Access(a);
+        assert_eq!(node.used_structures(), vec![ix.name()]);
+    }
+
+    #[test]
+    fn partition_elimination_reported() {
+        let mut a = access(5.0, 10.0);
+        a.partition_fraction = 0.25;
+        let used = PlanNode::Access(a).used_structures();
+        assert!(used.iter().any(|s| s.starts_with("partition_elimination")));
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let agg = PlanNode::HashAggregate {
+            input: Box::new(PlanNode::Access(access(10.0, 100.0))),
+            group_by: vec![],
+            est_rows: 5.0,
+            est_cost: 12.0,
+        };
+        let text = agg.to_string();
+        assert!(text.contains("HashAggregate"));
+        assert!(text.contains("HeapScan"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Table-size facts the optimizer needs from the hosting server.
+
+/// Row counts and widths of base tables (at logical scale).
+pub trait TableStatsProvider {
+    /// Logical row count of a table (0 if unknown).
+    fn rows(&self, database: &str, table: &str) -> u64;
+    /// Average row width in bytes.
+    fn row_width(&self, database: &str, table: &str) -> u32;
+    /// Average width of one column in bytes.
+    fn column_width(&self, database: &str, table: &str, column: &str) -> u32;
+}
+
+/// A fixed-size provider for tests.
+#[derive(Debug, Clone, Default)]
+pub struct FixedSizes {
+    /// `(db, table) -> (rows, row_width)`.
+    pub tables: std::collections::BTreeMap<(String, String), (u64, u32)>,
+    /// Default column width.
+    pub default_column_width: u32,
+}
+
+impl FixedSizes {
+    /// Register a table.
+    pub fn with_table(mut self, db: &str, table: &str, rows: u64, row_width: u32) -> Self {
+        self.tables.insert((db.to_string(), table.to_string()), (rows, row_width));
+        if self.default_column_width == 0 {
+            self.default_column_width = 8;
+        }
+        self
+    }
+}
+
+impl TableStatsProvider for FixedSizes {
+    fn rows(&self, database: &str, table: &str) -> u64 {
+        self.tables.get(&(database.to_string(), table.to_string())).map_or(0, |t| t.0)
+    }
+
+    fn row_width(&self, database: &str, table: &str) -> u32 {
+        self.tables
+            .get(&(database.to_string(), table.to_string()))
+            .map_or(64, |t| t.1)
+    }
+
+    fn column_width(&self, _database: &str, _table: &str, _column: &str) -> u32 {
+        if self.default_column_width == 0 {
+            8
+        } else {
+            self.default_column_width
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! The what-if optimization facade.
+//!
+//! `optimize(database, statement, configuration)` returns the estimated
+//! best plan *as if* the configuration were materialized — no structure
+//! needs to exist physically. This is the interface DTA calls for every
+//! (query, configuration) evaluation, and the hardware parameters are
+//! explicit so a test server can impersonate a production server (§5.3).
+
+use crate::access::{PlanContext, CPU_W};
+use crate::dml::plan_dml;
+use crate::hardware::HardwareParams;
+use crate::join::plan_joins;
+use crate::plan::{Plan, PlanNode};
+use crate::provider::TableStatsProvider;
+use crate::query::{bind, BindError, BoundColumn, BoundSelect, BoundStatement};
+use crate::selectivity::Estimator;
+use crate::views::{estimate_view_rows, view_plans, view_row_width};
+use dta_catalog::Catalog;
+use dta_physical::{Configuration, MaterializedView, RangePartitioning};
+use dta_sql::Statement;
+use dta_stats::StatisticsManager;
+use dta_storage::PAGE_SIZE;
+
+/// The what-if optimizer: stateless over borrowed server state.
+pub struct WhatIfOptimizer<'a> {
+    pub catalog: &'a Catalog,
+    pub stats: &'a StatisticsManager,
+    pub sizes: &'a dyn TableStatsProvider,
+    pub hardware: HardwareParams,
+}
+
+impl<'a> WhatIfOptimizer<'a> {
+    /// Construct over server state.
+    pub fn new(
+        catalog: &'a Catalog,
+        stats: &'a StatisticsManager,
+        sizes: &'a dyn TableStatsProvider,
+        hardware: HardwareParams,
+    ) -> Self {
+        Self { catalog, stats, sizes, hardware }
+    }
+
+    /// Optimize a statement under a hypothetical configuration.
+    pub fn optimize(
+        &self,
+        database: &str,
+        stmt: &Statement,
+        config: &Configuration,
+    ) -> Result<Plan, BindError> {
+        let bound = bind(self.catalog, database, stmt)?;
+        let ctx = PlanContext {
+            estimator: Estimator::new(self.stats, database),
+            config,
+            sizes: self.sizes,
+            hardware: self.hardware,
+            database,
+        };
+        let root = match &bound {
+            BoundStatement::Select(b) => plan_select(&ctx, b),
+            BoundStatement::Dml(d) => plan_dml(&ctx, d),
+        };
+        Ok(Plan::new(root))
+    }
+
+    /// Estimated logical row count of a materialized view (used for
+    /// storage sizing of hypothetical views).
+    pub fn view_rows(&self, view: &MaterializedView) -> u64 {
+        let config = Configuration::new();
+        let ctx = PlanContext {
+            estimator: Estimator::new(self.stats, &view.database),
+            config: &config,
+            sizes: self.sizes,
+            hardware: self.hardware,
+            database: &view.database,
+        };
+        estimate_view_rows(&ctx, view) as u64
+    }
+}
+
+/// Does `order` (a delivered sort order) cover `set` as a leading prefix
+/// in any permutation? That is what stream aggregation needs.
+fn order_covers_set(order: &[BoundColumn], set: &[BoundColumn]) -> bool {
+    !set.is_empty()
+        && set.len() <= order.len()
+        && order[..set.len()].iter().all(|c| set.contains(c))
+}
+
+/// Does `order` satisfy an ORDER BY list exactly (directions ignored —
+/// reverse scans are free)?
+fn order_satisfies(order: &[BoundColumn], wanted: &[(BoundColumn, bool)]) -> bool {
+    wanted.len() <= order.len()
+        && wanted.iter().zip(order.iter()).all(|((c, _), o)| c == o)
+}
+
+/// Plan a SELECT end to end, considering base plans and view rewrites.
+pub fn plan_select(ctx: &PlanContext<'_>, bound: &BoundSelect) -> PlanNode {
+    // base plan: join tree over base tables
+    let state = plan_joins(ctx, bound);
+    let base = finish_select(
+        ctx,
+        bound,
+        state.node,
+        &state.order,
+        state.partitioned_on.as_ref(),
+        state.width,
+    );
+
+    let mut best = base;
+    for vp in view_plans(ctx, bound) {
+        let width = match &vp.scan {
+            PlanNode::ViewScan { view, .. } => view_row_width(ctx, view) as f64,
+            _ => 64.0,
+        };
+        let candidate = if bound.is_aggregate() && !vp.answers_grouping {
+            // re-aggregate over the finer-grained view
+            let scan_rows = vp.scan.est_rows();
+            let scan_cost = vp.scan.est_cost();
+            let cols: Vec<(String, BoundColumn)> = bound
+                .group_by
+                .iter()
+                .filter_map(|g| {
+                    bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone()))
+                })
+                .collect();
+            let groups = ctx.estimator.group_count(&cols, scan_rows);
+            let agg = PlanNode::HashAggregate {
+                input: Box::new(vp.scan),
+                group_by: bound.group_by.clone(),
+                est_rows: groups,
+                est_cost: scan_cost + (scan_rows * 1.5 + groups) * CPU_W,
+            };
+            finish_order_top(ctx, bound, agg, &[], groups * 24.0)
+        } else if bound.is_aggregate() {
+            // the view already answers the grouping
+            finish_order_top(ctx, bound, vp.scan, &[], width)
+        } else {
+            // ungrouped join view feeding a possibly-distinct/sorted query
+            finish_select(ctx, bound, vp.scan, &[], None, width)
+        };
+        if candidate.est_cost() < best.est_cost() {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// Add grouping, distinct, order and top over a join result.
+fn finish_select(
+    ctx: &PlanContext<'_>,
+    bound: &BoundSelect,
+    node: PlanNode,
+    order: &[BoundColumn],
+    partitioned_on: Option<&(BoundColumn, RangePartitioning)>,
+    width: f64,
+) -> PlanNode {
+    let mut node = node;
+    let mut order: Vec<BoundColumn> = order.to_vec();
+    let mut width = width;
+
+    if bound.is_aggregate() {
+        let input_rows = node.est_rows();
+        let input_cost = node.est_cost();
+        if bound.group_by.is_empty() {
+            // scalar aggregate
+            node = PlanNode::StreamAggregate {
+                input: Box::new(node),
+                group_by: Vec::new(),
+                est_rows: 1.0,
+                est_cost: input_cost + input_rows * CPU_W,
+            };
+            order = Vec::new();
+            width = 8.0 * (bound.aggregates.len().max(1)) as f64;
+        } else {
+            let cols: Vec<(String, BoundColumn)> = bound
+                .group_by
+                .iter()
+                .filter_map(|g| {
+                    bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone()))
+                })
+                .collect();
+            let groups = ctx.estimator.group_count(&cols, input_rows);
+            let out_width = bound.group_by.len() as f64 * 8.0
+                + bound.aggregates.len() as f64 * 8.0
+                + 9.0;
+            let stream_ok = order_covers_set(&order, &bound.group_by);
+            if stream_ok {
+                node = PlanNode::StreamAggregate {
+                    input: Box::new(node),
+                    group_by: bound.group_by.clone(),
+                    est_rows: groups,
+                    est_cost: input_cost + input_rows * CPU_W,
+                };
+                order.truncate(bound.group_by.len());
+            } else {
+                // hash aggregation, with partition-wise memory relief when
+                // the input is partitioned on one of the grouping columns
+                let mut mem = ctx.hardware.memory_bytes as f64;
+                if let Some((pc, scheme)) = partitioned_on {
+                    if bound.group_by.contains(pc) {
+                        mem *= scheme.partition_count() as f64;
+                    }
+                }
+                let bytes = groups * out_width;
+                let mut cost = input_cost + (input_rows * 1.5 + groups) * CPU_W;
+                if bytes > mem {
+                    cost += 2.0 * bytes / PAGE_SIZE as f64;
+                }
+                node = PlanNode::HashAggregate {
+                    input: Box::new(node),
+                    group_by: bound.group_by.clone(),
+                    est_rows: groups,
+                    est_cost: cost,
+                };
+                order = Vec::new();
+            }
+            width = out_width;
+        }
+    } else if bound.distinct {
+        let input_rows = node.est_rows();
+        let input_cost = node.est_cost();
+        let groups = (input_rows * 0.5).max(1.0);
+        node = PlanNode::HashAggregate {
+            input: Box::new(node),
+            group_by: Vec::new(),
+            est_rows: groups,
+            est_cost: input_cost + (input_rows * 1.5 + groups) * CPU_W,
+        };
+        order = Vec::new();
+    }
+
+    finish_order_top(ctx, bound, node, &order, width)
+}
+
+/// Add ORDER BY / TOP handling over a (possibly aggregated) stream.
+fn finish_order_top(
+    ctx: &PlanContext<'_>,
+    bound: &BoundSelect,
+    node: PlanNode,
+    order: &[BoundColumn],
+    width: f64,
+) -> PlanNode {
+    let mut node = node;
+    if !bound.order_by.is_empty() && !order_satisfies(order, &bound.order_by) {
+        let n = node.est_rows();
+        let input_cost = node.est_cost();
+        let limit = bound.top.map(|t| t as f64).unwrap_or(n);
+        let cmp_target = limit.max(2.0);
+        let cpu = n * cmp_target.log2().max(1.0);
+        let bytes = n * width;
+        let mut cost = input_cost + cpu * CPU_W;
+        if bound.top.is_none() && bytes > ctx.hardware.memory_bytes as f64 {
+            cost += 2.0 * bytes / PAGE_SIZE as f64;
+        }
+        node = PlanNode::Sort {
+            input: Box::new(node),
+            keys: bound.order_by.clone(),
+            est_rows: n,
+            est_cost: cost,
+        };
+    }
+    if let Some(t) = bound.top {
+        let rows = node.est_rows().min(t as f64);
+        let cost = node.est_cost();
+        node = PlanNode::Top { input: Box::new(node), n: t, est_rows: rows, est_cost: cost };
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::FixedSizes;
+    use dta_catalog::{Column, ColumnType, Database, Table, Value};
+    use dta_physical::{Index, PhysicalStructure, QualifiedColumn, ViewAggregate};
+    use dta_sql::parse_statement;
+    use dta_stats::histogram::Histogram;
+    use dta_stats::{StatKey, Statistic};
+
+    fn catalog() -> Catalog {
+        let mut db = Database::new("db");
+        db.add_table(Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("x", ColumnType::Int),
+                Column::new("pad", ColumnType::Str(80)),
+            ],
+        ))
+        .unwrap();
+        db.add_table(Table::new(
+            "u",
+            vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
+        ))
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.add_database(db).unwrap();
+        cat
+    }
+
+    fn stats() -> StatisticsManager {
+        let mut m = StatisticsManager::new();
+        // x uniform over 0..1000 (1M rows); a has 100 distinct values
+        m.add(Statistic {
+            key: StatKey::new("db", "t", &["x"]),
+            histogram: Histogram::build((0..1000).map(Value::Int).collect()),
+            densities: vec![0.001],
+            row_count: 1_000_000,
+            sample_rows: 1000,
+        });
+        m.add(Statistic {
+            key: StatKey::new("db", "t", &["a"]),
+            histogram: Histogram::build((0..1000).map(|i| Value::Int(i % 100)).collect()),
+            densities: vec![0.01],
+            row_count: 1_000_000,
+            sample_rows: 1000,
+        });
+        m
+    }
+
+    fn sizes() -> FixedSizes {
+        FixedSizes::default()
+            .with_table("db", "t", 1_000_000, 96)
+            .with_table("db", "u", 10_000, 8)
+    }
+
+    fn cost(sql: &str, config: &Configuration) -> f64 {
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
+        opt.optimize("db", &parse_statement(sql).unwrap(), config).unwrap().cost
+    }
+
+    const Q: &str = "SELECT a, COUNT(*) FROM t WHERE x < 10 GROUP BY a";
+
+    #[test]
+    fn paper_example_1_all_structures_help() {
+        // §3 Example 1: each alternative structure reduces the query's cost
+        let raw = cost(Q, &Configuration::new());
+
+        let clustered_x = Configuration::from_structures([PhysicalStructure::Index(
+            Index::clustered("db", "t", &["x"]),
+        )]);
+        let part_x = Configuration::from_structures([PhysicalStructure::TablePartitioning {
+            database: "db".into(),
+            table: "t".into(),
+            scheme: RangePartitioning::new("x", (1..100).map(|i| Value::Int(i * 10)).collect()),
+        }]);
+        let covering = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["x", "a"], &[]),
+        )]);
+        let mv = Configuration::from_structures([PhysicalStructure::View(
+            MaterializedView::grouped(
+                "db",
+                &["t"],
+                vec![],
+                vec![QualifiedColumn::new("t", "a"), QualifiedColumn::new("t", "x")],
+                vec![ViewAggregate::count_star()],
+            ),
+        )]);
+
+        for (name, cfg) in [
+            ("clustered(x)", &clustered_x),
+            ("partition(x)", &part_x),
+            ("covering(x,a)", &covering),
+            ("mv", &mv),
+        ] {
+            let c = cost(Q, cfg);
+            assert!(c < raw, "{name}: {c} !< raw {raw}");
+        }
+
+        // the covering index should beat plain partitioning for this query
+        assert!(cost(Q, &covering) < cost(Q, &part_x));
+    }
+
+    #[test]
+    fn view_exact_grouping_is_cheapest() {
+        // without a selective filter, a view that answers the grouping
+        // exactly (100 tiny rows) beats even a covering index (which must
+        // scan all 1M leaf entries)
+        let q = "SELECT a, COUNT(*) FROM t GROUP BY a";
+        let exact_mv = Configuration::from_structures([PhysicalStructure::View(
+            MaterializedView::grouped(
+                "db",
+                &["t"],
+                vec![],
+                vec![QualifiedColumn::new("t", "a")],
+                vec![ViewAggregate::count_star()],
+            ),
+        )]);
+        let covering = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["a"], &[]),
+        )]);
+        assert!(cost(q, &exact_mv) < cost(q, &covering));
+
+        // with the selective x filter, a covering (x, a) seek reads ~1% of
+        // a narrow index and beats a finer-grained (a, x) view that must
+        // be re-aggregated
+        let fine_mv = Configuration::from_structures([PhysicalStructure::View(
+            MaterializedView::grouped(
+                "db",
+                &["t"],
+                vec![],
+                vec![QualifiedColumn::new("t", "a"), QualifiedColumn::new("t", "x")],
+                vec![ViewAggregate::count_star()],
+            ),
+        )]);
+        let covering_seek = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["x", "a"], &[]),
+        )]);
+        assert!(cost(Q, &covering_seek) < cost(Q, &fine_mv));
+        // but the fine-grained view still beats raw
+        assert!(cost(Q, &fine_mv) < cost(Q, &Configuration::new()));
+    }
+
+    #[test]
+    fn join_query_planned() {
+        let raw = cost("SELECT v FROM t, u WHERE t.x = u.k AND a = 5", &Configuration::new());
+        let cfg = Configuration::from_structures([
+            PhysicalStructure::Index(Index::non_clustered("db", "t", &["a"], &["x"])),
+            PhysicalStructure::Index(Index::non_clustered("db", "u", &["k"], &["v"])),
+        ]);
+        let tuned = cost("SELECT v FROM t, u WHERE t.x = u.k AND a = 5", &cfg);
+        assert!(tuned < raw * 0.2, "tuned={tuned} raw={raw}");
+    }
+
+    #[test]
+    fn order_by_sort_avoided_by_index() {
+        let sql = "SELECT x FROM t WHERE a = 5 ORDER BY x";
+        let unordered = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["a"], &["x"]),
+        )]);
+        let _ = unordered;
+        // clustered index on x provides the order but requires a full-ish
+        // scan; a covering seek on (a, x) needs a sort but reads little.
+        // Both should beat raw.
+        let raw = cost(sql, &Configuration::new());
+        let c1 = cost(
+            sql,
+            &Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+                "db",
+                "t",
+                &["a", "x"],
+                &[],
+            ))]),
+        );
+        assert!(c1 < raw);
+    }
+
+    #[test]
+    fn top_reduces_rows() {
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
+        let plan = opt
+            .optimize(
+                "db",
+                &parse_statement("SELECT TOP 10 a FROM t ORDER BY a").unwrap(),
+                &Configuration::new(),
+            )
+            .unwrap();
+        assert!(plan.est_rows <= 10.0);
+        assert!(matches!(plan.root, PlanNode::Top { .. }));
+    }
+
+    #[test]
+    fn scalar_aggregate_returns_one_row() {
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
+        let plan = opt
+            .optimize(
+                "db",
+                &parse_statement("SELECT COUNT(*) FROM t WHERE x < 10").unwrap(),
+                &Configuration::new(),
+            )
+            .unwrap();
+        assert_eq!(plan.est_rows, 1.0);
+    }
+
+    #[test]
+    fn memory_affects_costs() {
+        // what-if under different hardware produces different costs (§5.3)
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let sql = parse_statement("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a").unwrap();
+        let big = WhatIfOptimizer::new(
+            &cat,
+            &st,
+            &sz,
+            HardwareParams { cpus: 8, memory_bytes: 1 << 30 },
+        )
+        .optimize("db", &sql, &Configuration::new())
+        .unwrap()
+        .cost;
+        let small = WhatIfOptimizer::new(
+            &cat,
+            &st,
+            &sz,
+            HardwareParams { cpus: 1, memory_bytes: 1 << 20 },
+        )
+        .optimize("db", &sql, &Configuration::new())
+        .unwrap()
+        .cost;
+        assert!(small > big, "small={small} big={big}");
+    }
+
+    #[test]
+    fn used_structures_reported() {
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
+        let ix = Index::non_clustered("db", "t", &["x", "a"], &[]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(ix.clone())]);
+        let plan = opt
+            .optimize("db", &parse_statement(Q).unwrap(), &cfg)
+            .unwrap();
+        assert!(plan.used_structures().contains(&ix.name()));
+    }
+
+    #[test]
+    fn bind_errors_propagate() {
+        let cat = catalog();
+        let st = stats();
+        let sz = sizes();
+        let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
+        let err = opt.optimize(
+            "db",
+            &parse_statement("SELECT zzz FROM t").unwrap(),
+            &Configuration::new(),
+        );
+        assert!(err.is_err());
+    }
+}

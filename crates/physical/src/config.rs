@@ -1,0 +1,466 @@
+//! Configurations: sets of physical design structures.
+
+use crate::partitioning::RangePartitioning;
+use crate::sizing::{structure_bytes, SizingInfo};
+use crate::{Index, IndexKind, MaterializedView, PhysicalStructure};
+use dta_catalog::Catalog;
+
+/// Why a configuration is not valid (§6.2: user-specified configurations
+/// must be *valid*, i.e. realizable in the database).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// Two different clusterings specified for one table — the paper's
+    /// own example of an invalid configuration.
+    MultipleClusterings { database: String, table: String },
+    /// Two different table partitionings for one table.
+    MultipleTablePartitionings { database: String, table: String },
+    /// The structure references a database missing from the catalog.
+    UnknownDatabase(String),
+    /// The structure references a table missing from the catalog.
+    UnknownTable { database: String, table: String },
+    /// The structure references a column missing from its table.
+    UnknownColumn { database: String, table: String, column: String },
+    /// The structure is internally malformed (empty keys, duplicate
+    /// columns, disconnected view...).
+    Malformed(String),
+    /// Identical structure appears twice.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidityError::MultipleClusterings { database, table } => {
+                write!(f, "more than one clustering on {database}.{table}")
+            }
+            ValidityError::MultipleTablePartitionings { database, table } => {
+                write!(f, "more than one table partitioning on {database}.{table}")
+            }
+            ValidityError::UnknownDatabase(d) => write!(f, "unknown database {d}"),
+            ValidityError::UnknownTable { database, table } => {
+                write!(f, "unknown table {database}.{table}")
+            }
+            ValidityError::UnknownColumn { database, table, column } => {
+                write!(f, "unknown column {database}.{table}.{column}")
+            }
+            ValidityError::Malformed(s) => write!(f, "malformed structure {s}"),
+            ValidityError::Duplicate(s) => write!(f, "duplicate structure {s}"),
+        }
+    }
+}
+
+/// A physical database design: a set of structures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Configuration {
+    structures: Vec<PhysicalStructure>,
+}
+
+impl Configuration {
+    /// Empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from structures, de-duplicating.
+    pub fn from_structures(structures: impl IntoIterator<Item = PhysicalStructure>) -> Self {
+        let mut c = Self::new();
+        for s in structures {
+            c.add(s);
+        }
+        c
+    }
+
+    /// Add a structure; returns false if an identical one is present.
+    pub fn add(&mut self, s: PhysicalStructure) -> bool {
+        if self.structures.contains(&s) {
+            false
+        } else {
+            self.structures.push(s);
+            true
+        }
+    }
+
+    /// Remove a structure; returns true if it was present.
+    pub fn remove(&mut self, s: &PhysicalStructure) -> bool {
+        match self.structures.iter().position(|x| x == s) {
+            Some(i) => {
+                self.structures.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: &PhysicalStructure) -> bool {
+        self.structures.contains(s)
+    }
+
+    /// Number of structures.
+    pub fn len(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// True if no structures.
+    pub fn is_empty(&self) -> bool {
+        self.structures.is_empty()
+    }
+
+    /// Iterate the structures.
+    pub fn iter(&self) -> impl Iterator<Item = &PhysicalStructure> {
+        self.structures.iter()
+    }
+
+    /// Union of two configurations.
+    pub fn union(&self, other: &Configuration) -> Configuration {
+        let mut c = self.clone();
+        for s in other.iter() {
+            c.add(s.clone());
+        }
+        c
+    }
+
+    /// All indexes on a table.
+    pub fn indexes_on(&self, database: &str, table: &str) -> impl Iterator<Item = &Index> {
+        let database = database.to_string();
+        let table = table.to_string();
+        self.structures.iter().filter_map(move |s| match s {
+            PhysicalStructure::Index(i) if i.database == database && i.table == table => Some(i),
+            _ => None,
+        })
+    }
+
+    /// The clustered index on a table, if any.
+    pub fn clustered_index(&self, database: &str, table: &str) -> Option<&Index> {
+        self.indexes_on(database, table).find(|i| i.kind == IndexKind::Clustered)
+    }
+
+    /// Explicit heap partitioning of a table, if any.
+    pub fn table_partitioning(&self, database: &str, table: &str) -> Option<&RangePartitioning> {
+        self.structures.iter().find_map(|s| match s {
+            PhysicalStructure::TablePartitioning { database: d, table: t, scheme }
+                if d == database && t == table =>
+            {
+                Some(scheme)
+            }
+            _ => None,
+        })
+    }
+
+    /// The partitioning the table's *data* actually has: the clustered
+    /// index's partitioning if a clustered index exists, else the heap
+    /// partitioning.
+    pub fn effective_table_partitioning(
+        &self,
+        database: &str,
+        table: &str,
+    ) -> Option<&RangePartitioning> {
+        if let Some(ci) = self.clustered_index(database, table) {
+            return ci.partitioning.as_ref();
+        }
+        self.table_partitioning(database, table)
+    }
+
+    /// All materialized views in a database.
+    pub fn views(&self, database: &str) -> impl Iterator<Item = &MaterializedView> {
+        let database = database.to_string();
+        self.structures.iter().filter_map(move |s| match s {
+            PhysicalStructure::View(v) if v.database == database => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Validate against a catalog (existence + well-formedness +
+    /// single-clustering / single-partitioning rules). Returns all
+    /// violations found.
+    pub fn validate(&self, catalog: &Catalog) -> Vec<ValidityError> {
+        let mut errors = Vec::new();
+        let mut seen: Vec<&PhysicalStructure> = Vec::new();
+        for s in &self.structures {
+            if seen.contains(&s) {
+                errors.push(ValidityError::Duplicate(s.name()));
+            }
+            seen.push(s);
+        }
+
+        let check_column = |errors: &mut Vec<ValidityError>, db: &str, table: &str, col: &str| {
+            let Some(d) = catalog.database(db) else {
+                errors.push(ValidityError::UnknownDatabase(db.to_string()));
+                return;
+            };
+            let Some(t) = d.table(table) else {
+                errors.push(ValidityError::UnknownTable {
+                    database: db.to_string(),
+                    table: table.to_string(),
+                });
+                return;
+            };
+            if !t.has_column(col) {
+                errors.push(ValidityError::UnknownColumn {
+                    database: db.to_string(),
+                    table: table.to_string(),
+                    column: col.to_string(),
+                });
+            }
+        };
+
+        for s in &self.structures {
+            match s {
+                PhysicalStructure::Index(ix) => {
+                    if !ix.is_well_formed() {
+                        errors.push(ValidityError::Malformed(ix.name()));
+                    }
+                    for c in ix.leaf_columns() {
+                        check_column(&mut errors, &ix.database, &ix.table, c);
+                    }
+                    if let Some(p) = &ix.partitioning {
+                        check_column(&mut errors, &ix.database, &ix.table, &p.column);
+                    }
+                }
+                PhysicalStructure::View(v) => {
+                    if !v.is_well_formed() {
+                        errors.push(ValidityError::Malformed(v.name()));
+                    }
+                    for qc in v.group_by.iter().chain(v.projected.iter()) {
+                        check_column(&mut errors, &v.database, &qc.table, &qc.column);
+                    }
+                    for jp in &v.join_pairs {
+                        check_column(&mut errors, &v.database, &jp.left.table, &jp.left.column);
+                        check_column(&mut errors, &v.database, &jp.right.table, &jp.right.column);
+                    }
+                }
+                PhysicalStructure::TablePartitioning { database, table, scheme } => {
+                    check_column(&mut errors, database, table, &scheme.column);
+                }
+            }
+        }
+
+        // one clustering and one heap partitioning per table
+        let mut tables: Vec<(String, String)> = self
+            .structures
+            .iter()
+            .filter_map(|s| s.table().map(|t| (s.database().to_string(), t.to_string())))
+            .collect();
+        tables.sort();
+        tables.dedup();
+        for (db, t) in tables {
+            if self.indexes_on(&db, &t).filter(|i| i.kind == IndexKind::Clustered).count() > 1 {
+                errors.push(ValidityError::MultipleClusterings { database: db.clone(), table: t.clone() });
+            }
+            let parts = self
+                .structures
+                .iter()
+                .filter(|s| {
+                    matches!(s, PhysicalStructure::TablePartitioning { database, table, .. }
+                        if *database == db && *table == t)
+                })
+                .count();
+            if parts > 1 {
+                errors.push(ValidityError::MultipleTablePartitionings { database: db, table: t });
+            }
+        }
+        errors
+    }
+
+    /// The §4 alignment predicate: for every table that any structure in
+    /// the configuration touches, the table and all of its indexes are
+    /// partitioned identically (including "all unpartitioned").
+    pub fn is_aligned(&self) -> bool {
+        let mut tables: Vec<(String, String)> = self
+            .structures
+            .iter()
+            .filter_map(|s| s.table().map(|t| (s.database().to_string(), t.to_string())))
+            .collect();
+        tables.sort();
+        tables.dedup();
+        for (db, t) in tables {
+            let table_part = self.effective_table_partitioning(&db, &t).cloned();
+            for ix in self.indexes_on(&db, &t) {
+                if ix.partitioning != table_part {
+                    return false;
+                }
+            }
+            // a heap partitioning must agree with the clustered index too
+            if let (Some(hp), Some(ci)) =
+                (self.table_partitioning(&db, &t), self.clustered_index(&db, &t))
+            {
+                if ci.partitioning.as_ref() != Some(hp) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total incremental storage in bytes.
+    pub fn total_bytes(&self, info: &dyn SizingInfo) -> u64 {
+        self.structures.iter().map(|s| structure_bytes(s, info)).sum()
+    }
+
+    /// Structures present in `self` but not in `other`.
+    pub fn difference(&self, other: &Configuration) -> Vec<&PhysicalStructure> {
+        self.structures.iter().filter(|s| !other.contains(s)).collect()
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Configuration ({} structures):", self.structures.len())?;
+        for s in &self.structures {
+            writeln!(f, "  - {}", s.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<PhysicalStructure> for Configuration {
+    fn from_iter<T: IntoIterator<Item = PhysicalStructure>>(iter: T) -> Self {
+        Self::from_structures(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::{Column, ColumnType, Database, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut db = Database::new("db");
+        db.add_table(Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Int),
+                Column::new("x", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.add_database(db).unwrap();
+        cat
+    }
+
+    fn part(col: &str) -> RangePartitioning {
+        RangePartitioning::new(col, vec![Value::Int(10), Value::Int(20)])
+    }
+
+    #[test]
+    fn add_remove_dedup() {
+        let mut c = Configuration::new();
+        let s = PhysicalStructure::Index(Index::non_clustered("db", "t", &["a"], &[]));
+        assert!(c.add(s.clone()));
+        assert!(!c.add(s.clone()));
+        assert_eq!(c.len(), 1);
+        assert!(c.remove(&s));
+        assert!(!c.remove(&s));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn validity_multiple_clusterings() {
+        let c = Configuration::from_structures([
+            PhysicalStructure::Index(Index::clustered("db", "t", &["a"])),
+            PhysicalStructure::Index(Index::clustered("db", "t", &["b"])),
+        ]);
+        let errs = c.validate(&catalog());
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::MultipleClusterings { .. })));
+    }
+
+    #[test]
+    fn validity_unknown_objects() {
+        let c = Configuration::from_structures([
+            PhysicalStructure::Index(Index::non_clustered("db", "t", &["zzz"], &[])),
+            PhysicalStructure::Index(Index::non_clustered("db", "missing", &["a"], &[])),
+            PhysicalStructure::Index(Index::non_clustered("nodb", "t", &["a"], &[])),
+        ]);
+        let errs = c.validate(&catalog());
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::UnknownColumn { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::UnknownTable { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::UnknownDatabase(_))));
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        let c = Configuration::from_structures([
+            PhysicalStructure::Index(Index::clustered("db", "t", &["a"])),
+            PhysicalStructure::Index(Index::non_clustered("db", "t", &["x"], &["b"])),
+            PhysicalStructure::TablePartitioning {
+                database: "db".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+        ]);
+        assert!(c.validate(&catalog()).is_empty());
+    }
+
+    #[test]
+    fn alignment_checks() {
+        // aligned: table partitioned on x, all indexes partitioned on x
+        let aligned = Configuration::from_structures([
+            PhysicalStructure::TablePartitioning {
+                database: "db".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+            PhysicalStructure::Index(
+                Index::non_clustered("db", "t", &["a"], &[]).partitioned(part("x")),
+            ),
+        ]);
+        assert!(aligned.is_aligned());
+
+        // not aligned: index unpartitioned while table is partitioned
+        let misaligned = Configuration::from_structures([
+            PhysicalStructure::TablePartitioning {
+                database: "db".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+            PhysicalStructure::Index(Index::non_clustered("db", "t", &["a"], &[])),
+        ]);
+        assert!(!misaligned.is_aligned());
+
+        // unpartitioned everything is trivially aligned
+        let plain = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["a"], &[]),
+        )]);
+        assert!(plain.is_aligned());
+
+        // clustered index partitioning defines the table's partitioning
+        let via_clustered = Configuration::from_structures([
+            PhysicalStructure::Index(Index::clustered("db", "t", &["a"]).partitioned(part("x"))),
+            PhysicalStructure::Index(
+                Index::non_clustered("db", "t", &["b"], &[]).partitioned(part("x")),
+            ),
+        ]);
+        assert!(via_clustered.is_aligned());
+    }
+
+    #[test]
+    fn effective_partitioning_prefers_clustered() {
+        let c = Configuration::from_structures([
+            PhysicalStructure::Index(Index::clustered("db", "t", &["a"]).partitioned(part("a"))),
+            PhysicalStructure::TablePartitioning {
+                database: "db".into(),
+                table: "t".into(),
+                scheme: part("x"),
+            },
+        ]);
+        assert_eq!(c.effective_table_partitioning("db", "t").unwrap().column, "a");
+        // and that combination is not aligned (heap partitioning disagrees)
+        assert!(!c.is_aligned());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["a"], &[]),
+        )]);
+        let b = Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("db", "t", &["b"], &[]),
+        )]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.difference(&a).len(), 1);
+        assert_eq!(a.difference(&u).len(), 0);
+    }
+}

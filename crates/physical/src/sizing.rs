@@ -1,0 +1,143 @@
+//! Storage estimation for physical design structures.
+//!
+//! DTA's enumeration honors an optional storage bound (§2.1); the sizes
+//! here are what that bound is checked against. Sizing needs facts the
+//! physical crate does not own — logical row counts, column widths, and
+//! view cardinality estimates — so callers supply a [`SizingInfo`]
+//! (implemented by the server).
+
+use crate::{Index, IndexKind, MaterializedView, PhysicalStructure};
+
+/// Row-locator width carried by every non-clustered index entry (RID or
+/// clustering key reference).
+pub const ROW_LOCATOR_BYTES: u32 = 8;
+
+/// Per-row B-tree overhead (slot array entry, record header).
+pub const ROW_OVERHEAD_BYTES: u32 = 9;
+
+/// Facts needed to size structures, supplied by the hosting server.
+pub trait SizingInfo {
+    /// Logical row count of a base table.
+    fn table_rows(&self, database: &str, table: &str) -> u64;
+    /// Average width in bytes of a column.
+    fn column_width(&self, database: &str, table: &str, column: &str) -> u32;
+    /// Estimated row count of a materialized view (distinct groups for a
+    /// grouped view, join cardinality for a join view).
+    fn view_rows(&self, view: &MaterializedView) -> u64;
+}
+
+/// Estimated *incremental* storage of one structure in bytes — what it
+/// consumes beyond the base data. Clustered indexes and table
+/// partitioning are non-redundant and cost (approximately) nothing.
+pub fn structure_bytes(s: &PhysicalStructure, info: &dyn SizingInfo) -> u64 {
+    match s {
+        PhysicalStructure::Index(ix) => index_bytes(ix, info),
+        PhysicalStructure::View(v) => view_bytes(v, info),
+        PhysicalStructure::TablePartitioning { .. } => 0,
+    }
+}
+
+/// Incremental bytes of an index.
+pub fn index_bytes(ix: &Index, info: &dyn SizingInfo) -> u64 {
+    if ix.kind == IndexKind::Clustered {
+        // reorganizes the heap; negligible extra storage
+        return 0;
+    }
+    let rows = info.table_rows(&ix.database, &ix.table);
+    let width: u32 = ix
+        .leaf_columns()
+        .map(|c| info.column_width(&ix.database, &ix.table, c))
+        .sum::<u32>()
+        + ROW_LOCATOR_BYTES
+        + ROW_OVERHEAD_BYTES;
+    // ~70% leaf fill factor plus upper B-tree levels
+    let leaf = rows.saturating_mul(width as u64);
+    leaf + leaf / 3
+}
+
+/// Incremental bytes of a materialized view (its clustered storage).
+pub fn view_bytes(v: &MaterializedView, info: &dyn SizingInfo) -> u64 {
+    let rows = info.view_rows(v);
+    // estimate width from produced columns: group-by/projected columns at
+    // their base width, aggregates at 8 bytes each
+    let mut width: u64 = 0;
+    let produced = if v.is_grouped() { &v.group_by } else { &v.projected };
+    for c in produced {
+        width += info.column_width(&v.database, &c.table, &c.column) as u64;
+    }
+    width += 8 * v.aggregates.len() as u64;
+    width += ROW_OVERHEAD_BYTES as u64;
+    rows.saturating_mul(width.max(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{JoinPair, QualifiedColumn, ViewAggregate};
+    use dta_sql::AggFunc;
+
+    struct Fixed;
+    impl SizingInfo for Fixed {
+        fn table_rows(&self, _d: &str, table: &str) -> u64 {
+            match table {
+                "big" => 1_000_000,
+                _ => 1_000,
+            }
+        }
+        fn column_width(&self, _d: &str, _t: &str, _c: &str) -> u32 {
+            8
+        }
+        fn view_rows(&self, _v: &MaterializedView) -> u64 {
+            500
+        }
+    }
+
+    #[test]
+    fn clustered_is_free() {
+        let ix = Index::clustered("db", "big", &["a"]);
+        assert_eq!(index_bytes(&ix, &Fixed), 0);
+    }
+
+    #[test]
+    fn nonclustered_scales_with_rows_and_width() {
+        let narrow = Index::non_clustered("db", "big", &["a"], &[]);
+        let wide = Index::non_clustered("db", "big", &["a"], &["b", "c", "d"]);
+        let nb = index_bytes(&narrow, &Fixed);
+        let wb = index_bytes(&wide, &Fixed);
+        assert!(nb > 0);
+        assert!(wb > nb);
+        let small = Index::non_clustered("db", "small", &["a"], &[]);
+        assert!(index_bytes(&small, &Fixed) < nb);
+    }
+
+    #[test]
+    fn view_sizes() {
+        let v = MaterializedView::grouped(
+            "db",
+            &["big"],
+            vec![],
+            vec![QualifiedColumn::new("big", "g")],
+            vec![ViewAggregate::column(AggFunc::Sum, QualifiedColumn::new("big", "x"))],
+        );
+        let bytes = view_bytes(&v, &Fixed);
+        // 500 rows * (8 group col + 8 agg + 9 overhead)
+        assert_eq!(bytes, 500 * 25);
+    }
+
+    #[test]
+    fn table_partitioning_is_free() {
+        let s = PhysicalStructure::TablePartitioning {
+            database: "db".into(),
+            table: "big".into(),
+            scheme: crate::RangePartitioning::new("a", vec![dta_catalog::Value::Int(1)]),
+        };
+        assert_eq!(structure_bytes(&s, &Fixed), 0);
+    }
+
+    #[test]
+    fn join_pair_normalization() {
+        let a = JoinPair::new(QualifiedColumn::new("b", "y"), QualifiedColumn::new("a", "x"));
+        let b = JoinPair::new(QualifiedColumn::new("a", "x"), QualifiedColumn::new("b", "y"));
+        assert_eq!(a, b);
+    }
+}

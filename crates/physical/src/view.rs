@@ -1,0 +1,372 @@
+//! Materialized views.
+//!
+//! Views are select-project-join expressions with optional grouping and
+//! aggregation, held in a *structured* form (table set, equi-join pairs,
+//! group-by columns, aggregates) rather than as raw SQL. The structured
+//! form is what view matching in the optimizer and view merging in the
+//! advisor operate on.
+
+use crate::partitioning::RangePartitioning;
+use dta_sql::AggFunc;
+
+/// A table-qualified column, e.g. `lineitem.l_orderkey`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedColumn {
+    pub table: String,
+    pub column: String,
+}
+
+impl QualifiedColumn {
+    /// Construct (lower-casing both parts).
+    pub fn new(table: &str, column: &str) -> Self {
+        Self { table: table.to_ascii_lowercase(), column: column.to_ascii_lowercase() }
+    }
+}
+
+impl std::fmt::Display for QualifiedColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// An equi-join pair `left = right`, stored in normalized (sorted) order
+/// so that `a.x = b.y` and `b.y = a.x` compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinPair {
+    pub left: QualifiedColumn,
+    pub right: QualifiedColumn,
+}
+
+impl JoinPair {
+    /// Construct in normalized order.
+    pub fn new(a: QualifiedColumn, b: QualifiedColumn) -> Self {
+        if a <= b {
+            Self { left: a, right: b }
+        } else {
+            Self { left: b, right: a }
+        }
+    }
+}
+
+/// An aggregate computed by a view.
+///
+/// The argument is stored as *canonical SQL text* over table-qualified
+/// columns (e.g. `lineitem.l_extendedprice * (1 - lineitem.l_discount)`),
+/// which lets views capture aggregate *expressions*, not only plain
+/// columns — essential for TPC-H-style `SUM(price * (1 - discount))`
+/// aggregates. `arg_columns` lists the base columns the argument reads
+/// (for validity checks and update-maintenance analysis).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewAggregate {
+    pub func: AggFunc,
+    /// Canonical argument text; `None` means `COUNT(*)`.
+    pub arg: Option<String>,
+    /// Base columns the argument references.
+    pub arg_columns: Vec<QualifiedColumn>,
+}
+
+impl ViewAggregate {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        Self { func: AggFunc::Count, arg: None, arg_columns: Vec::new() }
+    }
+
+    /// An aggregate over a single column.
+    pub fn column(func: AggFunc, qc: QualifiedColumn) -> Self {
+        Self { func, arg: Some(qc.to_string()), arg_columns: vec![qc] }
+    }
+
+    /// An aggregate over an arbitrary (table-qualified) expression.
+    pub fn expr(func: AggFunc, text: impl Into<String>, columns: Vec<QualifiedColumn>) -> Self {
+        Self { func, arg: Some(text.into()), arg_columns: columns }
+    }
+}
+
+/// A materialized view over base tables of one database.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MaterializedView {
+    pub database: String,
+    /// Base tables joined, sorted and distinct.
+    pub tables: Vec<String>,
+    /// Equi-join pairs connecting the tables, normalized and sorted.
+    pub join_pairs: Vec<JoinPair>,
+    /// Group-by columns; empty together with empty `aggregates` means the
+    /// view materializes the raw join result of `projected` columns.
+    pub group_by: Vec<QualifiedColumn>,
+    /// Aggregates computed per group.
+    pub aggregates: Vec<ViewAggregate>,
+    /// Columns projected when there is no grouping (a join view).
+    pub projected: Vec<QualifiedColumn>,
+    /// Optional range partitioning on one of the group-by columns.
+    pub partitioning: Option<RangePartitioning>,
+}
+
+impl MaterializedView {
+    /// Create a grouped (aggregation) view.
+    pub fn grouped(
+        database: &str,
+        tables: &[&str],
+        join_pairs: Vec<JoinPair>,
+        group_by: Vec<QualifiedColumn>,
+        aggregates: Vec<ViewAggregate>,
+    ) -> Self {
+        let mut v = Self {
+            database: database.to_ascii_lowercase(),
+            tables: tables.iter().map(|t| t.to_ascii_lowercase()).collect(),
+            join_pairs,
+            group_by,
+            aggregates,
+            projected: Vec::new(),
+            partitioning: None,
+        };
+        v.normalize();
+        v
+    }
+
+    /// Create an ungrouped join view projecting `projected`.
+    pub fn join_view(
+        database: &str,
+        tables: &[&str],
+        join_pairs: Vec<JoinPair>,
+        projected: Vec<QualifiedColumn>,
+    ) -> Self {
+        let mut v = Self {
+            database: database.to_ascii_lowercase(),
+            tables: tables.iter().map(|t| t.to_ascii_lowercase()).collect(),
+            join_pairs,
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+            projected,
+            partitioning: None,
+        };
+        v.normalize();
+        v
+    }
+
+    /// Builder-style: attach partitioning.
+    pub fn partitioned(mut self, scheme: RangePartitioning) -> Self {
+        self.partitioning = Some(scheme);
+        self
+    }
+
+    /// Canonicalize the structured form so equal views compare equal.
+    pub fn normalize(&mut self) {
+        self.tables.sort();
+        self.tables.dedup();
+        self.join_pairs.sort();
+        self.join_pairs.dedup();
+        self.group_by.sort();
+        self.group_by.dedup();
+        self.aggregates.sort();
+        self.aggregates.dedup();
+        self.projected.sort();
+        self.projected.dedup();
+    }
+
+    /// True if the view aggregates (vs. a plain join view).
+    pub fn is_grouped(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Output columns the view materializes: group-by columns (or
+    /// projected columns) plus one column per aggregate.
+    pub fn output_width_columns(&self) -> usize {
+        if self.is_grouped() {
+            self.group_by.len() + self.aggregates.len()
+        } else {
+            self.projected.len()
+        }
+    }
+
+    /// Descriptive deterministic name.
+    pub fn name(&self) -> String {
+        let mut n = format!("mv_{}", self.tables.join("_"));
+        if !self.group_by.is_empty() {
+            n.push_str("_by_");
+            n.push_str(
+                &self
+                    .group_by
+                    .iter()
+                    .map(|c| c.column.clone())
+                    .collect::<Vec<_>>()
+                    .join("_"),
+            );
+        }
+        if !self.aggregates.is_empty() {
+            n.push_str(&format!("_agg{}", self.aggregates.len()));
+        }
+        if let Some(p) = &self.partitioning {
+            n.push_str(&format!("_p{}", p.column));
+        }
+        n
+    }
+
+    /// SQL-ish definition text for reports and the XML schema.
+    pub fn definition_sql(&self) -> String {
+        let mut s = String::from("SELECT ");
+        let mut items: Vec<String> = if self.is_grouped() {
+            self.group_by.iter().map(|c| c.to_string()).collect()
+        } else {
+            self.projected.iter().map(|c| c.to_string()).collect()
+        };
+        for a in &self.aggregates {
+            let arg = a.arg.clone().unwrap_or_else(|| "*".into());
+            items.push(format!("{}({})", a.func.name(), arg));
+        }
+        if items.is_empty() {
+            items.push("*".into());
+        }
+        s.push_str(&items.join(", "));
+        s.push_str(" FROM ");
+        s.push_str(&self.tables.join(", "));
+        if !self.join_pairs.is_empty() {
+            s.push_str(" WHERE ");
+            s.push_str(
+                &self
+                    .join_pairs
+                    .iter()
+                    .map(|j| format!("{} = {}", j.left, j.right))
+                    .collect::<Vec<_>>()
+                    .join(" AND "),
+            );
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            s.push_str(
+                &self.group_by.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+            );
+        }
+        s
+    }
+
+    /// Structural validity: tables non-empty; every referenced column's
+    /// table is in the table set; partitioning column is produced by the
+    /// view.
+    pub fn is_well_formed(&self) -> bool {
+        if self.tables.is_empty() {
+            return false;
+        }
+        let has_table = |qc: &QualifiedColumn| self.tables.iter().any(|t| *t == qc.table);
+        let cols_ok = self.join_pairs.iter().all(|j| has_table(&j.left) && has_table(&j.right))
+            && self.group_by.iter().all(has_table)
+            && self.projected.iter().all(has_table)
+            && self.aggregates.iter().all(|a| a.arg_columns.iter().all(&has_table));
+        if !cols_ok {
+            return false;
+        }
+        // multi-table views must be connected by join pairs
+        if self.tables.len() > 1 && self.join_pairs.len() + 1 < self.tables.len() {
+            return false;
+        }
+        if let Some(p) = &self.partitioning {
+            let produced = self
+                .group_by
+                .iter()
+                .chain(self.projected.iter())
+                .any(|c| c.column == p.column);
+            if !produced {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::Value;
+
+    fn qc(t: &str, c: &str) -> QualifiedColumn {
+        QualifiedColumn::new(t, c)
+    }
+
+    fn sample_view() -> MaterializedView {
+        MaterializedView::grouped(
+            "tpch",
+            &["lineitem", "orders"],
+            vec![JoinPair::new(qc("lineitem", "l_orderkey"), qc("orders", "o_orderkey"))],
+            vec![qc("orders", "o_orderdate")],
+            vec![
+                ViewAggregate::column(AggFunc::Sum, qc("lineitem", "l_extendedprice")),
+                ViewAggregate::count_star(),
+            ],
+        )
+    }
+
+    #[test]
+    fn normalization_makes_equivalent_views_equal() {
+        let a = MaterializedView::grouped(
+            "db",
+            &["t2", "t1"],
+            vec![JoinPair::new(qc("t2", "y"), qc("t1", "x"))],
+            vec![qc("t1", "g")],
+            vec![],
+        );
+        let b = MaterializedView::grouped(
+            "db",
+            &["t1", "t2"],
+            vec![JoinPair::new(qc("t1", "x"), qc("t2", "y"))],
+            vec![qc("t1", "g")],
+            vec![],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(sample_view().is_well_formed());
+
+        // column from a table outside the view
+        let mut bad = sample_view();
+        bad.group_by.push(qc("customer", "c_name"));
+        assert!(!bad.is_well_formed());
+
+        // disconnected multi-table view
+        let disconnected = MaterializedView::grouped("db", &["a", "b"], vec![], vec![], vec![]);
+        assert!(!disconnected.is_well_formed());
+
+        // partitioning on a column the view does not produce
+        let bad_part = sample_view().partitioned(RangePartitioning::new(
+            "l_shipdate",
+            vec![Value::Str("1995-01-01".into())],
+        ));
+        assert!(!bad_part.is_well_formed());
+
+        // partitioning on a produced column is fine
+        let good_part = sample_view().partitioned(RangePartitioning::new(
+            "o_orderdate",
+            vec![Value::Str("1995-01-01".into())],
+        ));
+        assert!(good_part.is_well_formed());
+    }
+
+    #[test]
+    fn definition_sql_readable() {
+        let sql = sample_view().definition_sql();
+        assert!(sql.starts_with("SELECT "));
+        assert!(sql.contains("GROUP BY orders.o_orderdate"));
+        assert!(sql.contains("SUM(lineitem.l_extendedprice)"));
+        assert!(sql.contains("COUNT(*)"));
+        assert!(sql.contains("lineitem.l_orderkey = orders.o_orderkey"));
+    }
+
+    #[test]
+    fn output_width() {
+        assert_eq!(sample_view().output_width_columns(), 3);
+        let jv = MaterializedView::join_view(
+            "db",
+            &["a", "b"],
+            vec![JoinPair::new(qc("a", "x"), qc("b", "y"))],
+            vec![qc("a", "p"), qc("b", "q")],
+        );
+        assert_eq!(jv.output_width_columns(), 2);
+        assert!(!jv.is_grouped());
+    }
+
+    #[test]
+    fn names_deterministic() {
+        assert_eq!(sample_view().name(), sample_view().name());
+        assert!(sample_view().name().starts_with("mv_lineitem_orders"));
+    }
+}

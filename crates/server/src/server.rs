@@ -1,0 +1,464 @@
+//! The server itself.
+
+use crate::ServerError;
+use dta_catalog::script::MetadataScript;
+use dta_catalog::{Catalog, Database};
+use dta_engine::{Engine, QueryResult};
+use dta_optimizer::{HardwareParams, Plan, TableStatsProvider, WhatIfOptimizer};
+use dta_physical::{Configuration, Index, MaterializedView, PhysicalStructure, SizingInfo};
+use dta_sql::Statement;
+use dta_stats::{build_statistic, StatKey, Statistic, StatisticsManager, DEFAULT_SAMPLE_FRACTION};
+use dta_storage::{Store, TableData, WorkCounter};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Work units charged per what-if optimizer call, base.
+pub const WHATIF_BASE_UNITS: f64 = 4.0;
+
+/// Extra work units per table referenced by the optimized statement
+/// (join optimization is superlinear; squared below).
+pub const WHATIF_PER_TABLE_UNITS: f64 = 4.0;
+
+/// Result of a batch statistics-creation request.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsCreationReport {
+    /// Statistics actually created.
+    pub created: usize,
+    /// Statistics requested.
+    pub requested: usize,
+    /// Work units spent creating them (sampling I/O).
+    pub work_units: f64,
+}
+
+/// A database server instance.
+pub struct Server {
+    /// Server name, for reports.
+    pub name: String,
+    catalog: Catalog,
+    store: Store,
+    stats: RwLock<StatisticsManager>,
+    deployed: RwLock<Configuration>,
+    hardware: RwLock<HardwareParams>,
+    work: WorkCounter,
+    rng: Mutex<StdRng>,
+}
+
+impl Server {
+    /// New empty server with production-default hardware.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            catalog: Catalog::new(),
+            store: Store::new(),
+            stats: RwLock::new(StatisticsManager::new()),
+            deployed: RwLock::new(Configuration::new()),
+            hardware: RwLock::new(HardwareParams::production_default()),
+            work: WorkCounter::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(0x5EED)),
+        }
+    }
+
+    /// Builder-style hardware override.
+    pub fn with_hardware(self, hw: HardwareParams) -> Self {
+        *self.hardware.write() = hw;
+        self
+    }
+
+    // ---- catalog & data -------------------------------------------------
+
+    /// Create a database (schema only).
+    pub fn create_database(&mut self, db: Database) -> Result<(), ServerError> {
+        db.validate()?;
+        for t in db.tables() {
+            self.store.create_table(&db.name, t);
+        }
+        self.catalog.add_database(db)?;
+        Ok(())
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The data store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable table data (bulk loading).
+    pub fn table_data_mut(&mut self, database: &str, table: &str) -> Option<&mut TableData> {
+        self.store.table_mut(database, table)
+    }
+
+    /// Total logical data size in bytes across all databases.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.store.total_logical_bytes()
+    }
+
+    // ---- overhead metering ----------------------------------------------
+
+    /// The overhead meter: all work this server performed on behalf of
+    /// clients (what-if calls, statistics creation, execution).
+    pub fn work(&self) -> &WorkCounter {
+        &self.work
+    }
+
+    /// Work units accumulated so far.
+    pub fn overhead_units(&self) -> f64 {
+        self.work.work_units()
+    }
+
+    /// Reset the overhead meter.
+    pub fn reset_overhead(&self) {
+        self.work.reset();
+    }
+
+    fn charge_units(&self, units: f64) {
+        // encode scalar units as CPU ops so the counter stays integral
+        self.work.cpu((units / dta_storage::work::CPU_OP_WEIGHT) as u64);
+    }
+
+    // ---- hardware ---------------------------------------------------------
+
+    /// The hardware parameters what-if calls currently model.
+    pub fn hardware(&self) -> HardwareParams {
+        *self.hardware.read()
+    }
+
+    /// Override the modeled hardware — used on a test server to simulate
+    /// the production server's CPUs and memory (§5.3).
+    pub fn simulate_hardware(&self, hw: HardwareParams) {
+        *self.hardware.write() = hw;
+    }
+
+    // ---- configuration -----------------------------------------------------
+
+    /// The currently deployed physical design.
+    pub fn deployed(&self) -> Configuration {
+        self.deployed.read().clone()
+    }
+
+    /// Implement a physical design (the `CREATE INDEX`/`CREATE VIEW` step
+    /// after tuning). Validity is the caller's responsibility to check.
+    pub fn deploy(&self, config: Configuration) {
+        *self.deployed.write() = config;
+    }
+
+    /// The *raw* configuration of §7.1: only indexes that enforce
+    /// referential-integrity constraints (primary keys) survive.
+    pub fn raw_configuration(&self) -> Configuration {
+        let mut cfg = Configuration::new();
+        for db in self.catalog.databases() {
+            for t in db.tables() {
+                if !t.primary_key.is_empty() {
+                    let keys: Vec<&str> = t.primary_key.iter().map(String::as_str).collect();
+                    cfg.add(PhysicalStructure::Index(
+                        Index::non_clustered(&db.name, &t.name, &keys, &[]).constraint(),
+                    ));
+                }
+            }
+        }
+        cfg
+    }
+
+    // ---- what-if interface ---------------------------------------------
+
+    /// A what-if optimizer call: the estimated best plan for `stmt` as if
+    /// `config` were materialized. Charges optimization work to the
+    /// overhead meter.
+    pub fn whatif(
+        &self,
+        database: &str,
+        stmt: &Statement,
+        config: &Configuration,
+    ) -> Result<Plan, ServerError> {
+        let tables = stmt.referenced_tables().len() as f64;
+        self.charge_units(WHATIF_BASE_UNITS + WHATIF_PER_TABLE_UNITS * tables * tables);
+        let stats = self.stats.read();
+        let opt = WhatIfOptimizer::new(&self.catalog, &stats, self, self.hardware());
+        Ok(opt.optimize(database, stmt, config)?)
+    }
+
+    /// Estimated row count of a hypothetical materialized view.
+    pub fn view_rows_estimate(&self, view: &MaterializedView) -> u64 {
+        let stats = self.stats.read();
+        let opt = WhatIfOptimizer::new(&self.catalog, &stats, self, self.hardware());
+        opt.view_rows(view)
+    }
+
+    // ---- statistics -----------------------------------------------------
+
+    /// Does the server already hold equivalent statistical information?
+    pub fn statistics_cover(&self, key: &StatKey) -> bool {
+        self.stats.read().covers(key)
+    }
+
+    /// Number of statistics held.
+    pub fn statistics_count(&self) -> usize {
+        self.stats.read().count()
+    }
+
+    /// Create one statistic by sampling stored data, charging the
+    /// sampling I/O. Returns false when the table has no data here.
+    pub fn create_statistic(&self, key: StatKey) -> bool {
+        let Some(data) = self.store.table(&key.database, &key.table) else {
+            return false;
+        };
+        if data.rows() == 0 {
+            return false;
+        }
+        let mut rng = self.rng.lock();
+        let stat = build_statistic(key, data, DEFAULT_SAMPLE_FRACTION, &mut *rng, &self.work);
+        self.stats.write().add(stat);
+        true
+    }
+
+    /// Create a batch of statistics, reporting how much work it took.
+    pub fn create_statistics(&self, keys: &[StatKey]) -> StatsCreationReport {
+        let before = self.work.snapshot();
+        let mut created = 0;
+        for key in keys {
+            if self.create_statistic(key.clone()) {
+                created += 1;
+            }
+        }
+        let delta = self.work.snapshot().since(before);
+        StatsCreationReport { created, requested: keys.len(), work_units: delta.work_units() }
+    }
+
+    /// Direct read access to the statistics manager.
+    pub fn with_statistics<R>(&self, f: impl FnOnce(&StatisticsManager) -> R) -> R {
+        f(&self.stats.read())
+    }
+
+    /// Export all statistics of one database (ships summaries, not data).
+    pub fn export_statistics(&self, database: &str) -> Vec<Statistic> {
+        self.stats.read().export_database(database)
+    }
+
+    /// Import previously exported statistics (test-server side of §5.3).
+    pub fn import_statistics(&self, stats: Vec<Statistic>) {
+        self.stats.write().import(stats);
+    }
+
+    // ---- metadata scripting ------------------------------------------------
+
+    /// Script out one database's metadata (no data).
+    pub fn export_metadata(&self, database: &str) -> Result<MetadataScript, ServerError> {
+        let db = self.catalog.database_required(database)?;
+        Ok(MetadataScript::export(db))
+    }
+
+    /// Import a scripted database. Creates empty tables only.
+    pub fn import_metadata(&mut self, script: &MetadataScript) -> Result<(), ServerError> {
+        let db = script.import()?;
+        self.create_database(db)
+    }
+
+    // ---- execution -------------------------------------------------------
+
+    /// Optimize under the deployed configuration and execute, charging
+    /// actual work to the overhead meter. SELECT only.
+    pub fn execute(&self, database: &str, stmt: &Statement) -> Result<QueryResult, ServerError> {
+        let deployed = self.deployed();
+        let plan = {
+            let stats = self.stats.read();
+            let opt = WhatIfOptimizer::new(&self.catalog, &stats, self, self.hardware());
+            opt.optimize(database, stmt, &deployed)?
+        };
+        let engine = Engine::new(&self.catalog, &self.store, self.hardware());
+        let result = engine.execute_select(database, stmt, &plan)?;
+        self.work.read_pages(result.work.io_pages as u64);
+        self.work.cpu(result.work.cpu_ops as u64);
+        Ok(result)
+    }
+
+    /// Estimated cost of a statement under the deployed configuration,
+    /// without charging what-if overhead (for reporting).
+    pub fn estimated_cost_deployed(
+        &self,
+        database: &str,
+        stmt: &Statement,
+    ) -> Result<f64, ServerError> {
+        let deployed = self.deployed();
+        let stats = self.stats.read();
+        let opt = WhatIfOptimizer::new(&self.catalog, &stats, self, self.hardware());
+        Ok(opt.optimize(database, stmt, &deployed)?.cost)
+    }
+}
+
+impl TableStatsProvider for Server {
+    fn rows(&self, database: &str, table: &str) -> u64 {
+        // data if we have it; otherwise fall back to imported statistics
+        // (metadata-only test servers, §5.3)
+        if let Some(d) = self.store.table(database, table) {
+            if d.rows() > 0 {
+                return d.logical_rows();
+            }
+        }
+        self.stats
+            .read()
+            .for_table(database, table)
+            .iter()
+            .map(|s| s.row_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn row_width(&self, database: &str, table: &str) -> u32 {
+        self.catalog
+            .database(database)
+            .and_then(|d| d.table(table))
+            .map(|t| t.row_width())
+            .unwrap_or(64)
+    }
+
+    fn column_width(&self, database: &str, table: &str, column: &str) -> u32 {
+        self.catalog
+            .database(database)
+            .and_then(|d| d.table(table))
+            .and_then(|t| t.column(column))
+            .map(|c| c.ty.width())
+            .unwrap_or(8)
+    }
+}
+
+impl SizingInfo for Server {
+    fn table_rows(&self, database: &str, table: &str) -> u64 {
+        TableStatsProvider::rows(self, database, table)
+    }
+
+    fn column_width(&self, database: &str, table: &str, column: &str) -> u32 {
+        TableStatsProvider::column_width(self, database, table, column)
+    }
+
+    fn view_rows(&self, view: &MaterializedView) -> u64 {
+        self.view_rows_estimate(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_catalog::{Column, ColumnType, Table, Value};
+    use dta_sql::parse_statement;
+
+    fn make_server() -> Server {
+        let mut server = Server::new("prod");
+        let mut db = Database::new("shop");
+        db.add_table(
+            Table::new(
+                "item",
+                vec![
+                    Column::new("id", ColumnType::BigInt),
+                    Column::new("cat", ColumnType::Int),
+                    Column::new("price", ColumnType::Float),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        server.create_database(db).unwrap();
+        let data = server.table_data_mut("shop", "item").unwrap();
+        for i in 0..5000i64 {
+            data.push_row(vec![Value::Int(i), Value::Int(i % 50), Value::Float(i as f64)]);
+        }
+        server
+    }
+
+    #[test]
+    fn whatif_charges_overhead() {
+        let server = make_server();
+        assert_eq!(server.overhead_units(), 0.0);
+        let stmt = parse_statement("SELECT price FROM item WHERE cat = 3").unwrap();
+        let plan = server.whatif("shop", &stmt, &Configuration::new()).unwrap();
+        assert!(plan.cost > 0.0);
+        assert!(server.overhead_units() >= WHATIF_BASE_UNITS);
+    }
+
+    #[test]
+    fn statistics_creation_and_coverage() {
+        let server = make_server();
+        let key = StatKey::new("shop", "item", &["cat", "price"]);
+        assert!(!server.statistics_cover(&key));
+        let report = server.create_statistics(&[key.clone()]);
+        assert_eq!(report.created, 1);
+        assert!(report.work_units > 0.0);
+        assert!(server.statistics_cover(&key));
+        assert!(server.statistics_cover(&StatKey::new("shop", "item", &["cat"])));
+    }
+
+    #[test]
+    fn stats_improve_estimates() {
+        let server = make_server();
+        let stmt = parse_statement("SELECT price FROM item WHERE cat = 3").unwrap();
+        let before = server.whatif("shop", &stmt, &Configuration::new()).unwrap();
+        server.create_statistics(&[StatKey::new("shop", "item", &["cat"])]);
+        let after = server.whatif("shop", &stmt, &Configuration::new()).unwrap();
+        // 50 categories: with stats the estimate should move toward 2%
+        assert!((after.est_rows - 100.0).abs() < 50.0, "rows={}", after.est_rows);
+        let _ = before;
+    }
+
+    #[test]
+    fn raw_configuration_has_pk_indexes() {
+        let server = make_server();
+        let raw = server.raw_configuration();
+        assert_eq!(raw.len(), 1);
+        let s = raw.iter().next().unwrap();
+        match s {
+            PhysicalStructure::Index(ix) => {
+                assert!(ix.enforces_constraint);
+                assert_eq!(ix.key_columns, vec!["id"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deploy_and_execute() {
+        let server = make_server();
+        let stmt = parse_statement("SELECT COUNT(*) FROM item WHERE cat = 7").unwrap();
+        server.deploy(Configuration::from_structures([PhysicalStructure::Index(
+            Index::non_clustered("shop", "item", &["cat"], &[]),
+        )]));
+        let res = server.execute("shop", &stmt).unwrap();
+        assert_eq!(res.rows[0][0], Value::Int(100));
+        assert!(server.overhead_units() > 0.0);
+    }
+
+    #[test]
+    fn metadata_roundtrip_between_servers() {
+        let prod = make_server();
+        let script = prod.export_metadata("shop").unwrap();
+        let mut test = Server::new("test");
+        test.import_metadata(&script).unwrap();
+        assert!(test.catalog().database("shop").is_some());
+        // no data came across
+        assert_eq!(test.store().table("shop", "item").unwrap().rows(), 0);
+        // but after importing statistics the test server knows row counts
+        prod.create_statistics(&[StatKey::new("shop", "item", &["cat"])]);
+        test.import_statistics(prod.export_statistics("shop"));
+        assert_eq!(TableStatsProvider::rows(&test, "shop", "item"), 5000);
+    }
+
+    #[test]
+    fn hardware_simulation() {
+        let server = make_server();
+        let small = HardwareParams::test_default();
+        server.simulate_hardware(small);
+        assert_eq!(server.hardware(), small);
+    }
+
+    #[test]
+    fn overhead_reset() {
+        let server = make_server();
+        let stmt = parse_statement("SELECT id FROM item").unwrap();
+        server.whatif("shop", &stmt, &Configuration::new()).unwrap();
+        assert!(server.overhead_units() > 0.0);
+        server.reset_overhead();
+        assert_eq!(server.overhead_units(), 0.0);
+    }
+}

@@ -1,0 +1,440 @@
+//! Abstract syntax tree for the DTA SQL dialect.
+
+use std::fmt;
+
+/// A literal constant appearing in a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// 64-bit signed integer, e.g. `42`.
+    Int(i64),
+    /// Double-precision float, e.g. `0.05`.
+    Float(f64),
+    /// Single-quoted string, e.g. `'BRAZIL'`. Dates are ISO-8601 strings
+    /// (`'1995-03-15'`), which compare correctly lexicographically.
+    Str(String),
+    /// `NULL`.
+    Null,
+}
+
+impl Literal {
+    /// True if this literal is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Literal::Int(_) | Literal::Float(_))
+    }
+}
+
+/// A possibly-qualified column reference (`t.a` or `a`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, if present.
+    pub table: Option<String>,
+    /// Column name (lower-cased by the lexer).
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self { table: None, column: column.into() }
+    }
+
+    /// Qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self { table: Some(table.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        use BinaryOp::*;
+        matches!(self, Eq | NotEq | Lt | LtEq | Gt | GtEq)
+    }
+
+    /// Mirror of a comparison: `a < b` ⇔ `b > a`.
+    pub fn flip(self) -> Self {
+        use BinaryOp::*;
+        match self {
+            Lt => Gt,
+            LtEq => GtEq,
+            Gt => Lt,
+            GtEq => LtEq,
+            other => other,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        use BinaryOp::*;
+        match self {
+            Or => "OR",
+            And => "AND",
+            Eq => "=",
+            NotEq => "<>",
+            Lt => "<",
+            LtEq => "<=",
+            Gt => ">",
+            GtEq => ">=",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical `NOT`.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL name of the aggregate.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parse an aggregate name (already lower-cased).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Scalar and boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant literal.
+    Literal(Literal),
+    /// Column reference.
+    Column(ColumnRef),
+    /// Binary operation (arithmetic, comparison, AND/OR).
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Unary operation (NOT, unary minus).
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList { expr: Box<Expr>, negated: bool, list: Vec<Expr> },
+    /// `expr [NOT] LIKE pattern`.
+    Like { expr: Box<Expr>, negated: bool, pattern: Box<Expr> },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// Aggregate call; `arg == None` means `COUNT(*)`.
+    Aggregate { func: AggFunc, distinct: bool, arg: Option<Box<Expr>> },
+    /// Other scalar function call, e.g. `SUBSTRING(a, 1, 2)`.
+    Function { name: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ColumnRef::bare(name))
+    }
+
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// String literal shorthand.
+    pub fn str(v: &str) -> Expr {
+        Expr::Literal(Literal::Str(v.to_string()))
+    }
+
+    /// Build `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary { left: Box::new(self), op: BinaryOp::And, right: Box::new(other) }
+    }
+
+    /// Build a binary comparison.
+    pub fn cmp(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary { left: Box::new(self), op, right: Box::new(other) }
+    }
+
+    /// True if the expression contains an aggregate call anywhere.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        crate::visit::walk_expr(self, &mut |e| {
+            if matches!(e, Expr::Aggregate { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Split a conjunction into its conjuncts: `a AND b AND c` → `[a, b, c]`.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary { left, op: BinaryOp::And, right } => {
+                    go(left, out);
+                    go(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Re-join conjuncts into a single AND tree. Returns `None` for an
+    /// empty slice.
+    pub fn conjoin(mut parts: Vec<Expr>) -> Option<Expr> {
+        let first = if parts.is_empty() { return None } else { parts.remove(0) };
+        Some(parts.into_iter().fold(first, |acc, e| acc.and(e)))
+    }
+}
+
+/// A base table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub name: String,
+    /// Alias used in the query, if any.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Table reference without an alias.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), alias: None }
+    }
+
+    /// The name this table is known by inside the query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An explicit `JOIN ... ON ...` attached to a base table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// The joined table.
+    pub table: TableRef,
+    /// The join condition.
+    pub on: Expr,
+}
+
+/// One element of the `FROM` list: a base table plus zero or more
+/// explicit joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableWithJoins {
+    pub base: TableRef,
+    pub joins: Vec<Join>,
+}
+
+impl TableWithJoins {
+    /// All table references in this FROM element, base first.
+    pub fn tables(&self) -> impl Iterator<Item = &TableRef> {
+        std::iter::once(&self.base).chain(self.joins.iter().map(|j| &j.table))
+    }
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// `ORDER BY` element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    /// `SELECT TOP n`, if present.
+    pub top: Option<u64>,
+    /// Empty means `SELECT *`.
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableWithJoins>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+}
+
+impl SelectStatement {
+    /// All table references mentioned in the FROM clause.
+    pub fn tables(&self) -> Vec<&TableRef> {
+        self.from.iter().flat_map(|twj| twj.tables()).collect()
+    }
+
+    /// True if the query computes aggregates (GROUP BY or aggregate in the
+    /// select list).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.projections.iter().any(|p| p.expr.contains_aggregate())
+    }
+}
+
+/// An `INSERT` statement (`VALUES` form only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    pub table: String,
+    /// Target column list; empty means "all columns in table order".
+    pub columns: Vec<String>,
+    /// One or more value tuples.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// An `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub predicate: Option<Expr>,
+}
+
+/// A `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStatement {
+    pub table: String,
+    pub predicate: Option<Expr>,
+}
+
+/// Any statement in the dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStatement),
+    Insert(InsertStatement),
+    Update(UpdateStatement),
+    Delete(DeleteStatement),
+}
+
+impl Statement {
+    /// True for `INSERT`/`UPDATE`/`DELETE`.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+
+    /// Names of all tables the statement references.
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        match self {
+            Statement::Select(s) => s.tables().iter().map(|t| t.name.as_str()).collect(),
+            Statement::Insert(i) => vec![i.table.as_str()],
+            Statement::Update(u) => vec![u.table.as_str()],
+            Statement::Delete(d) => vec![d.table.as_str()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_roundtrip() {
+        let e = Expr::col("a")
+            .cmp(BinaryOp::Eq, Expr::int(1))
+            .and(Expr::col("b").cmp(BinaryOp::Lt, Expr::int(2)))
+            .and(Expr::col("c").cmp(BinaryOp::Gt, Expr::int(3)));
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjoin(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rejoined, e);
+    }
+
+    #[test]
+    fn conjoin_empty_is_none() {
+        assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn flip_comparisons() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::GtEq.flip(), BinaryOp::LtEq);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::Aggregate { func: AggFunc::Count, distinct: false, arg: None };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let nested = Expr::Binary {
+            left: Box::new(Expr::int(1)),
+            op: BinaryOp::Add,
+            right: Box::new(e),
+        };
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let mut t = TableRef::new("lineitem");
+        assert_eq!(t.binding_name(), "lineitem");
+        t.alias = Some("l".into());
+        assert_eq!(t.binding_name(), "l");
+    }
+
+    #[test]
+    fn statement_tables() {
+        let s = Statement::Update(UpdateStatement {
+            table: "t".into(),
+            assignments: vec![("a".into(), Expr::int(1))],
+            predicate: None,
+        });
+        assert!(s.is_update());
+        assert_eq!(s.referenced_tables(), vec!["t"]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// Error produced by the lexer or parser.
+///
+/// Carries the byte offset in the input at which the problem was detected,
+/// which callers can map back to a line/column if they wish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the source text.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,388 @@
+//! Hand-written SQL lexer.
+//!
+//! Identifiers and keywords are case-insensitive; identifiers are
+//! normalized to lower case so that the rest of the system can compare
+//! names directly.
+
+use crate::error::{ParseError, Result};
+
+/// SQL keywords recognised by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Select,
+    Distinct,
+    Top,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Having,
+    As,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Like,
+    Is,
+    Null,
+    Join,
+    Inner,
+    On,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Asc,
+    Desc,
+}
+
+impl Kw {
+    fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "select" => Kw::Select,
+            "distinct" => Kw::Distinct,
+            "top" => Kw::Top,
+            "from" => Kw::From,
+            "where" => Kw::Where,
+            "group" => Kw::Group,
+            "order" => Kw::Order,
+            "by" => Kw::By,
+            "having" => Kw::Having,
+            "as" => Kw::As,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "between" => Kw::Between,
+            "in" => Kw::In,
+            "like" => Kw::Like,
+            "is" => Kw::Is,
+            "null" => Kw::Null,
+            "join" => Kw::Join,
+            "inner" => Kw::Inner,
+            "on" => Kw::On,
+            "insert" => Kw::Insert,
+            "into" => Kw::Into,
+            "values" => Kw::Values,
+            "update" => Kw::Update,
+            "set" => Kw::Set,
+            "delete" => Kw::Delete,
+            "asc" => Kw::Asc,
+            "desc" => Kw::Desc,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Kw),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semicolon,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {k:?}"),
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenize `input` into a vector ending with an `Eof` token.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a quote
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid float literal '{text}'"), start)
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid integer literal '{text}'"), start)
+                    })?)
+                };
+                out.push(Token { kind, offset: start });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = input[start..i].to_ascii_lowercase();
+                let kind = match Kw::from_str(&word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word),
+                };
+                out.push(Token { kind, offset: start });
+            }
+            _ => {
+                let start = i;
+                let kind = match c {
+                    b'=' => {
+                        i += 1;
+                        TokenKind::Eq
+                    }
+                    b'<' => {
+                        i += 1;
+                        if i < bytes.len() && bytes[i] == b'=' {
+                            i += 1;
+                            TokenKind::LtEq
+                        } else if i < bytes.len() && bytes[i] == b'>' {
+                            i += 1;
+                            TokenKind::NotEq
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    b'>' => {
+                        i += 1;
+                        if i < bytes.len() && bytes[i] == b'=' {
+                            i += 1;
+                            TokenKind::GtEq
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    b'!' => {
+                        i += 1;
+                        if i < bytes.len() && bytes[i] == b'=' {
+                            i += 1;
+                            TokenKind::NotEq
+                        } else {
+                            return Err(ParseError::new("expected '=' after '!'", start));
+                        }
+                    }
+                    b'+' => {
+                        i += 1;
+                        TokenKind::Plus
+                    }
+                    b'-' => {
+                        i += 1;
+                        TokenKind::Minus
+                    }
+                    b'*' => {
+                        i += 1;
+                        TokenKind::Star
+                    }
+                    b'/' => {
+                        i += 1;
+                        TokenKind::Slash
+                    }
+                    b',' => {
+                        i += 1;
+                        TokenKind::Comma
+                    }
+                    b'.' => {
+                        i += 1;
+                        TokenKind::Dot
+                    }
+                    b'(' => {
+                        i += 1;
+                        TokenKind::LParen
+                    }
+                    b')' => {
+                        i += 1;
+                        TokenKind::RParen
+                    }
+                    b';' => {
+                        i += 1;
+                        TokenKind::Semicolon
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            format!("unexpected character '{}'", other as char),
+                            start,
+                        ))
+                    }
+                };
+                out.push(Token { kind, offset: start });
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let ks = kinds("SELECT foo FROM Bar");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Kw::Select),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Keyword(Kw::From),
+                TokenKind::Ident("bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 007"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< <= <> != >= > ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::GtEq,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            kinds("1 -- comment here\n 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("a  b").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

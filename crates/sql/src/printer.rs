@@ -1,0 +1,333 @@
+//! Pretty-printer: `Display` implementations that emit parseable SQL.
+//!
+//! The printer always parenthesizes nested binary operations whose
+//! precedence could be ambiguous, which keeps the parse→print→parse
+//! round-trip exact (verified by property tests in the crate's test
+//! suite).
+
+use crate::ast::*;
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // keep a decimal point so the literal re-parses as a float
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+fn precedence(op: BinaryOp) -> u8 {
+    use BinaryOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => 3,
+        Add | Sub => 4,
+        Mul | Div => 5,
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, expr: &Expr, parent_prec: u8) -> fmt::Result {
+    match expr {
+        Expr::Literal(l) => write!(f, "{l}"),
+        Expr::Column(c) => write!(f, "{c}"),
+        Expr::Binary { left, op, right } => {
+            let prec = precedence(*op);
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                f.write_char('(')?;
+            }
+            write_expr(f, left, prec)?;
+            write!(f, " {} ", op.symbol())?;
+            // right side binds one tighter to preserve left-associativity
+            write_expr(f, right, prec + 1)?;
+            if needs_parens {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => {
+                write!(f, "NOT ")?;
+                write_expr(f, expr, 3)
+            }
+            UnaryOp::Neg => {
+                write!(f, "-")?;
+                write_expr(f, expr, 6)
+            }
+        },
+        Expr::Between { expr, negated, low, high } => {
+            write_expr(f, expr, 4)?;
+            if *negated {
+                write!(f, " NOT")?;
+            }
+            write!(f, " BETWEEN ")?;
+            write_expr(f, low, 4)?;
+            write!(f, " AND ")?;
+            write_expr(f, high, 4)
+        }
+        Expr::InList { expr, negated, list } => {
+            write_expr(f, expr, 4)?;
+            if *negated {
+                write!(f, " NOT")?;
+            }
+            write!(f, " IN (")?;
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, e, 0)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Like { expr, negated, pattern } => {
+            write_expr(f, expr, 4)?;
+            if *negated {
+                write!(f, " NOT")?;
+            }
+            write!(f, " LIKE ")?;
+            write_expr(f, pattern, 4)
+        }
+        Expr::IsNull { expr, negated } => {
+            write_expr(f, expr, 4)?;
+            if *negated {
+                write!(f, " IS NOT NULL")
+            } else {
+                write!(f, " IS NULL")
+            }
+        }
+        Expr::Aggregate { func, distinct, arg } => {
+            write!(f, "{}(", func.name())?;
+            if *distinct {
+                write!(f, "DISTINCT ")?;
+            }
+            match arg {
+                Some(a) => write_expr(f, a, 0)?,
+                None => write!(f, "*")?,
+            }
+            write!(f, ")")
+        }
+        Expr::Function { name, args } => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, a, 0)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, 0)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        if let Some(n) = self.top {
+            write!(f, "TOP {n} ")?;
+        }
+        if self.projections.is_empty() {
+            write!(f, "*")?;
+        } else {
+            for (i, p) in self.projections.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", p.expr)?;
+                if let Some(a) = &p.alias {
+                    write!(f, " AS {a}")?;
+                }
+            }
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, twj) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", twj.base)?;
+                for j in &twj.joins {
+                    write!(f, " JOIN {} ON {}", j.table, j.on)?;
+                }
+            }
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InsertStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, e) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UpdateStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (col, e)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{col} = {e}")?;
+        }
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DeleteStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert(s) => write!(f, "{s}"),
+            Statement::Update(s) => write!(f, "{s}"),
+            Statement::Delete(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_statement;
+
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of '{printed}' failed: {e}"));
+        assert_eq!(stmt, reparsed, "roundtrip mismatch for {sql}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for sql in [
+            "SELECT a, COUNT(*) FROM t WHERE x < 10 GROUP BY a",
+            "SELECT * FROM t",
+            "SELECT DISTINCT a FROM t",
+            "SELECT TOP 5 a FROM t ORDER BY a DESC",
+            "SELECT a AS x, b y FROM t AS q",
+            "SELECT l.a FROM lineitem AS l JOIN orders AS o ON l.k = o.k WHERE o.d < '1995-01-01'",
+            "SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b NOT IN (1, 2) AND c LIKE 'x' AND d IS NULL",
+            "SELECT a + b * c - d / e FROM t",
+            "SELECT SUM(a * (1 - b)) FROM t",
+            "SELECT COUNT(DISTINCT a) FROM t",
+            "INSERT INTO t (a, b) VALUES (1, 'it''s'), (2, NULL)",
+            "UPDATE t SET a = a + 1 WHERE b = 2",
+            "DELETE FROM t WHERE k < 100",
+            "SELECT a FROM t WHERE NOT x = 1",
+            "SELECT substring(a, 1, 2) FROM t",
+            "SELECT a FROM t WHERE x > -5 AND y < -2.5",
+            "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 100 ORDER BY a",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn canonical_spacing() {
+        let stmt = parse_statement("select   a from  t where x<10").unwrap();
+        assert_eq!(stmt.to_string(), "SELECT a FROM t WHERE x < 10");
+    }
+
+    #[test]
+    fn parenthesization_preserves_structure() {
+        // (1 + 2) * 3 must not print as 1 + 2 * 3
+        let stmt = parse_statement("SELECT (a + b) * c FROM t").unwrap();
+        assert_eq!(stmt.to_string(), "SELECT (a + b) * c FROM t");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // a - b - c is (a-b)-c; naive printing without right-side +1 would
+        // reparse a - (b - c).
+        roundtrip("SELECT a - b - c FROM t");
+        roundtrip("SELECT a / b / c FROM t");
+    }
+}

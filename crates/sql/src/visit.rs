@@ -1,0 +1,178 @@
+//! Lightweight AST walkers.
+//!
+//! These are plain pre-order traversals driven by closures — enough for
+//! the analyses the advisor performs (column collection, literal
+//! collection, aggregate detection) without the weight of a full visitor
+//! trait hierarchy.
+
+use crate::ast::*;
+
+/// Walk an expression tree pre-order, invoking `f` on every node.
+pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Literal(_) | Expr::Column(_) => {}
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, f);
+            walk_expr(low, f);
+            walk_expr(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, f);
+            for e in list {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr(expr, f);
+            walk_expr(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, f),
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+    }
+}
+
+/// Walk every expression in a statement (predicates, projections,
+/// group-by, order-by, assignment values, inserted values, join
+/// conditions).
+pub fn walk_statement_exprs(stmt: &Statement, f: &mut dyn FnMut(&Expr)) {
+    match stmt {
+        Statement::Select(s) => {
+            for p in &s.projections {
+                walk_expr(&p.expr, f);
+            }
+            for twj in &s.from {
+                for j in &twj.joins {
+                    walk_expr(&j.on, f);
+                }
+            }
+            if let Some(p) = &s.predicate {
+                walk_expr(p, f);
+            }
+            for g in &s.group_by {
+                walk_expr(g, f);
+            }
+            if let Some(h) = &s.having {
+                walk_expr(h, f);
+            }
+            for o in &s.order_by {
+                walk_expr(&o.expr, f);
+            }
+        }
+        Statement::Insert(i) => {
+            for row in &i.rows {
+                for e in row {
+                    walk_expr(e, f);
+                }
+            }
+        }
+        Statement::Update(u) => {
+            for (_, e) in &u.assignments {
+                walk_expr(e, f);
+            }
+            if let Some(p) = &u.predicate {
+                walk_expr(p, f);
+            }
+        }
+        Statement::Delete(d) => {
+            if let Some(p) = &d.predicate {
+                walk_expr(p, f);
+            }
+        }
+    }
+}
+
+/// Rewrite every column reference in an expression in place (e.g. to
+/// re-qualify columns with table names for canonical forms).
+pub fn rewrite_columns(expr: &mut Expr, f: &mut dyn FnMut(&mut ColumnRef)) {
+    match expr {
+        Expr::Literal(_) => {}
+        Expr::Column(c) => f(c),
+        Expr::Binary { left, right, .. } => {
+            rewrite_columns(left, f);
+            rewrite_columns(right, f);
+        }
+        Expr::Unary { expr, .. } => rewrite_columns(expr, f),
+        Expr::Between { expr, low, high, .. } => {
+            rewrite_columns(expr, f);
+            rewrite_columns(low, f);
+            rewrite_columns(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            rewrite_columns(expr, f);
+            for e in list {
+                rewrite_columns(e, f);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            rewrite_columns(expr, f);
+            rewrite_columns(pattern, f);
+        }
+        Expr::IsNull { expr, .. } => rewrite_columns(expr, f),
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                rewrite_columns(a, f);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                rewrite_columns(a, f);
+            }
+        }
+    }
+}
+
+/// Collect every column reference in a statement.
+pub fn referenced_columns(stmt: &Statement) -> Vec<ColumnRef> {
+    let mut out = Vec::new();
+    walk_statement_exprs(stmt, &mut |e| {
+        if let Expr::Column(c) = e {
+            out.push(c.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    #[test]
+    fn collects_columns_from_everywhere() {
+        let stmt = parse_statement(
+            "SELECT a, SUM(b) FROM t JOIN u ON t.k = u.k WHERE c > 1 GROUP BY a HAVING SUM(b) > 2 ORDER BY d",
+        )
+        .unwrap();
+        let cols = referenced_columns(&stmt);
+        let names: Vec<&str> = cols.iter().map(|c| c.column.as_str()).collect();
+        for expected in ["a", "b", "k", "c", "d"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn update_columns() {
+        let stmt = parse_statement("UPDATE t SET a = b + 1 WHERE c = 2").unwrap();
+        let cols = referenced_columns(&stmt);
+        let names: Vec<&str> = cols.iter().map(|c| c.column.as_str()).collect();
+        assert!(names.contains(&"b"));
+        assert!(names.contains(&"c"));
+        // the assignment *target* is not an expression
+        assert!(!names.contains(&"a"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The per-server statistics cache.
+
+use crate::histogram::Histogram;
+use crate::statistic::{StatKey, Statistic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Holds all statistics a server has created, with the two lookups the
+/// optimizer needs: *histogram by leading column* and *density by column
+/// set* (order-independent).
+#[derive(Debug, Clone, Default)]
+pub struct StatisticsManager {
+    /// Statistics grouped by (database, table).
+    by_table: BTreeMap<(String, String), Vec<Statistic>>,
+    total: usize,
+}
+
+impl StatisticsManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of statistics held.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+
+    /// Add (or replace) a statistic.
+    pub fn add(&mut self, stat: Statistic) {
+        let slot = self
+            .by_table
+            .entry((stat.key.database.clone(), stat.key.table.clone()))
+            .or_default();
+        if let Some(existing) = slot.iter_mut().find(|s| s.key == stat.key) {
+            *existing = stat;
+        } else {
+            slot.push(stat);
+            self.total += 1;
+        }
+    }
+
+    /// Exact-key lookup.
+    pub fn get(&self, key: &StatKey) -> Option<&Statistic> {
+        self.by_table
+            .get(&(key.database.clone(), key.table.clone()))?
+            .iter()
+            .find(|s| s.key == *key)
+    }
+
+    /// All statistics on one table.
+    pub fn for_table(&self, database: &str, table: &str) -> &[Statistic] {
+        self.by_table
+            .get(&(database.to_string(), table.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// A histogram over `column`: any statistic whose *leading* column is
+    /// `column` provides one.
+    pub fn histogram(&self, database: &str, table: &str, column: &str) -> Option<&Histogram> {
+        self.for_table(database, table)
+            .iter()
+            .find(|s| s.key.columns.first().map(String::as_str) == Some(column))
+            .map(|s| &s.histogram)
+    }
+
+    /// Density of a column *set* (order-independent): any statistic with a
+    /// leading prefix whose set of columns equals `columns` provides it.
+    pub fn density(&self, database: &str, table: &str, columns: &[String]) -> Option<f64> {
+        let want: BTreeSet<&str> = columns.iter().map(String::as_str).collect();
+        for s in self.for_table(database, table) {
+            for (i, _) in s.key.columns.iter().enumerate() {
+                let prefix: BTreeSet<&str> =
+                    s.key.columns[..=i].iter().map(String::as_str).collect();
+                if prefix == want {
+                    return Some(s.densities[i]);
+                }
+                if prefix.len() > want.len() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    /// Population-scale distinct count of a column *set*
+    /// (order-independent), extrapolated from the sample.
+    pub fn scaled_distinct(&self, database: &str, table: &str, columns: &[String]) -> Option<f64> {
+        let want: BTreeSet<&str> = columns.iter().map(String::as_str).collect();
+        for s in self.for_table(database, table) {
+            for (i, _) in s.key.columns.iter().enumerate() {
+                let prefix: BTreeSet<&str> =
+                    s.key.columns[..=i].iter().map(String::as_str).collect();
+                if prefix == want {
+                    return Some(s.distinct_of_prefix(i));
+                }
+                if prefix.len() > want.len() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a histogram on this column already exists.
+    pub fn has_histogram(&self, database: &str, table: &str, column: &str) -> bool {
+        self.histogram(database, table, column).is_some()
+    }
+
+    /// Whether density information for this column set already exists.
+    pub fn has_density(&self, database: &str, table: &str, columns: &[String]) -> bool {
+        self.density(database, table, columns).is_some()
+    }
+
+    /// True if creating `key` would add no statistical information that is
+    /// not already held — used to skip redundant what-if statistics.
+    pub fn covers(&self, key: &StatKey) -> bool {
+        let Some(first) = key.columns.first() else {
+            return true;
+        };
+        if !self.has_histogram(&key.database, &key.table, first) {
+            return false;
+        }
+        for i in 0..key.columns.len() {
+            let prefix: Vec<String> = key.columns[..=i].to_vec();
+            if !self.has_density(&key.database, &key.table, &prefix) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Export all statistics of one database (production → test server
+    /// import, §5.3). This ships *no data*, just summaries.
+    pub fn export_database(&self, database: &str) -> Vec<Statistic> {
+        self.by_table
+            .iter()
+            .filter(|((db, _), _)| db == database)
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect()
+    }
+
+    /// Import previously exported statistics.
+    pub fn import(&mut self, stats: Vec<Statistic>) {
+        for s in stats {
+            self.add(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(cols: &[&str], densities: &[f64]) -> Statistic {
+        Statistic {
+            key: StatKey::new("db", "t", cols),
+            histogram: Histogram::build(
+                (0..10).map(dta_catalog::Value::Int).collect(),
+            ),
+            densities: densities.to_vec(),
+            row_count: 10,
+            sample_rows: 10,
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = StatisticsManager::new();
+        m.add(stat(&["a", "b", "c"], &[0.1, 0.01, 0.001]));
+        assert_eq!(m.count(), 1);
+        assert!(m.has_histogram("db", "t", "a"));
+        assert!(!m.has_histogram("db", "t", "b"));
+        assert_eq!(m.density("db", "t", &["a".into()]), Some(0.1));
+        assert_eq!(m.density("db", "t", &["a".into(), "b".into()]), Some(0.01));
+        // order-independence: Density(B,A) = Density(A,B)
+        assert_eq!(m.density("db", "t", &["b".into(), "a".into()]), Some(0.01));
+        assert_eq!(m.density("db", "t", &["b".into()]), None);
+    }
+
+    #[test]
+    fn covers_detects_redundant_stats() {
+        let mut m = StatisticsManager::new();
+        m.add(stat(&["a", "b", "c"], &[0.1, 0.01, 0.001]));
+        m.add(stat(&["b"], &[0.2]));
+        // paper's Example 3: after creating (A,B,C) and (B), the stats
+        // (A), (B,A) and (A,B) are all redundant
+        assert!(m.covers(&StatKey::new("db", "t", &["a"])));
+        assert!(m.covers(&StatKey::new("db", "t", &["a", "b"])));
+        assert!(m.covers(&StatKey::new("db", "t", &["b", "a"])));
+        assert!(m.covers(&StatKey::new("db", "t", &["a", "b", "c"])));
+        // but (C) is not covered: no histogram on c
+        assert!(!m.covers(&StatKey::new("db", "t", &["c"])));
+        // and (B,C) is not: density {b,c} unknown
+        assert!(!m.covers(&StatKey::new("db", "t", &["b", "c"])));
+    }
+
+    #[test]
+    fn replace_same_key() {
+        let mut m = StatisticsManager::new();
+        m.add(stat(&["a"], &[0.5]));
+        m.add(stat(&["a"], &[0.25]));
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.density("db", "t", &["a".into()]), Some(0.25));
+    }
+
+    #[test]
+    fn export_import() {
+        let mut m = StatisticsManager::new();
+        m.add(stat(&["a"], &[0.5]));
+        let exported = m.export_database("db");
+        assert_eq!(exported.len(), 1);
+        assert!(m.export_database("other").is_empty());
+        let mut m2 = StatisticsManager::new();
+        m2.import(exported);
+        assert!(m2.has_histogram("db", "t", "a"));
+    }
+}

@@ -1,0 +1,178 @@
+//! The workload model.
+
+use dta_sql::{parse_script, parse_statement, ParseError, Statement};
+
+/// One event in a workload: a statement against a database, with a
+/// weight (how many times it occurred in the trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadItem {
+    /// Database the statement runs against.
+    pub database: String,
+    /// The parsed statement.
+    pub statement: Statement,
+    /// Occurrence weight (≥ 0).
+    pub weight: f64,
+}
+
+impl WorkloadItem {
+    /// Item with weight 1.
+    pub fn new(database: &str, statement: Statement) -> Self {
+        Self { database: database.to_string(), statement, weight: 1.0 }
+    }
+
+    /// Item with an explicit weight.
+    pub fn weighted(database: &str, statement: Statement, weight: f64) -> Self {
+        Self { database: database.to_string(), statement, weight }
+    }
+}
+
+/// A workload: an ordered multiset of weighted statements, possibly
+/// spanning several databases.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    pub items: Vec<WorkloadItem>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from items.
+    pub fn from_items(items: Vec<WorkloadItem>) -> Self {
+        Self { items }
+    }
+
+    /// Parse a `;`-separated SQL file, all statements against one
+    /// database, weight 1 each.
+    pub fn from_sql_file(database: &str, sql: &str) -> Result<Self, ParseError> {
+        Ok(Self {
+            items: parse_script(sql)?
+                .into_iter()
+                .map(|s| WorkloadItem::new(database, s))
+                .collect(),
+        })
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total event count (sum of weights).
+    pub fn total_events(&self) -> f64 {
+        self.items.iter().map(|i| i.weight).sum()
+    }
+
+    /// Fraction of events that are INSERT/UPDATE/DELETE.
+    pub fn update_fraction(&self) -> f64 {
+        let total = self.total_events();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.items
+            .iter()
+            .filter(|i| i.statement.is_update())
+            .map(|i| i.weight)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Databases referenced, sorted and de-duplicated.
+    pub fn databases(&self) -> Vec<String> {
+        let mut dbs: Vec<String> = self.items.iter().map(|i| i.database.clone()).collect();
+        dbs.sort();
+        dbs.dedup();
+        dbs
+    }
+
+    /// Serialize to a profiler-style trace: one event per line,
+    /// `database<TAB>weight<TAB>sql`.
+    pub fn to_trace(&self) -> String {
+        let mut out = String::new();
+        for i in &self.items {
+            out.push_str(&format!("{}\t{}\t{}\n", i.database, i.weight, i.statement));
+        }
+        out
+    }
+
+    /// Parse a profiler-style trace produced by [`Workload::to_trace`].
+    pub fn from_trace(trace: &str) -> Result<Self, ParseError> {
+        let mut items = Vec::new();
+        for (lineno, line) in trace.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (db, w, sql) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(db), Some(w), Some(sql)) => (db, w, sql),
+                _ => {
+                    return Err(ParseError {
+                        message: format!("trace line {} malformed", lineno + 1),
+                        offset: 0,
+                    })
+                }
+            };
+            let weight: f64 = w.parse().map_err(|_| ParseError {
+                message: format!("bad weight on line {}", lineno + 1),
+                offset: 0,
+            })?;
+            items.push(WorkloadItem::weighted(db, parse_statement(sql)?, weight));
+        }
+        Ok(Self { items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_file_loading() {
+        let w = Workload::from_sql_file(
+            "db",
+            "SELECT a FROM t; UPDATE t SET a = 1 WHERE b = 2; DELETE FROM t WHERE a = 9;",
+        )
+        .unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_events(), 3.0);
+        assert!((w.update_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(w.databases(), vec!["db"]);
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let mut w = Workload::from_sql_file("db1", "SELECT a FROM t WHERE x < 10;").unwrap();
+        w.items[0].weight = 42.0;
+        w.items.push(WorkloadItem::new(
+            "db2",
+            dta_sql::parse_statement("SELECT b FROM u").unwrap(),
+        ));
+        let trace = w.to_trace();
+        let back = Workload::from_trace(&trace).unwrap();
+        assert_eq!(w, back);
+        assert_eq!(back.databases(), vec!["db1", "db2"]);
+    }
+
+    #[test]
+    fn malformed_traces_rejected() {
+        assert!(Workload::from_trace("only-one-field\n").is_err());
+        assert!(Workload::from_trace("db\tnot_a_number\tSELECT a FROM t\n").is_err());
+        assert!(Workload::from_trace("db\t1\tNOT SQL AT ALL\n").is_err());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::new();
+        assert!(w.is_empty());
+        assert_eq!(w.update_fraction(), 0.0);
+        assert_eq!(Workload::from_trace("").unwrap(), w);
+    }
+}

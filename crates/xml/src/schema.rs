@@ -1,0 +1,602 @@
+//! The typed schema layer: DTA inputs and outputs as XML.
+
+use crate::xml::{parse_document, XmlError, XmlNode, XmlWriter};
+use dta_catalog::Value;
+use dta_core::{AlignmentMode, FeatureSet, TuningOptions, TuningResult};
+use dta_physical::{
+    Configuration, Index, IndexKind, JoinPair, MaterializedView, PhysicalStructure,
+    QualifiedColumn, RangePartitioning, ViewAggregate,
+};
+use dta_sql::AggFunc;
+use dta_workload::{Workload, WorkloadItem};
+
+/// Schema-level errors (syntax or semantic).
+#[derive(Debug)]
+pub enum SchemaError {
+    Xml(XmlError),
+    Invalid(String),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Xml(e) => write!(f, "{e}"),
+            SchemaError::Invalid(m) => write!(f, "invalid document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<XmlError> for SchemaError {
+    fn from(e: XmlError) -> Self {
+        SchemaError::Xml(e)
+    }
+}
+
+fn invalid(m: impl Into<String>) -> SchemaError {
+    SchemaError::Invalid(m.into())
+}
+
+// ---- values ---------------------------------------------------------------
+
+fn write_value(w: &mut XmlWriter, element: &str, v: &Value) {
+    let (ty, text) = match v {
+        Value::Null => ("null", String::new()),
+        Value::Int(i) => ("int", i.to_string()),
+        Value::Float(f) => ("float", f.to_string()),
+        Value::Str(s) => ("str", s.clone()),
+    };
+    w.text_element(element, &[("type", ty)], &text);
+}
+
+fn read_value(node: &XmlNode) -> Result<Value, SchemaError> {
+    match node.require_attr("type")? {
+        "null" => Ok(Value::Null),
+        "int" => node
+            .text
+            .parse()
+            .map(Value::Int)
+            .map_err(|_| invalid(format!("bad int '{}'", node.text))),
+        "float" => node
+            .text
+            .parse()
+            .map(Value::Float)
+            .map_err(|_| invalid(format!("bad float '{}'", node.text))),
+        "str" => Ok(Value::Str(node.text.clone())),
+        other => Err(invalid(format!("unknown value type '{other}'"))),
+    }
+}
+
+// ---- partitioning -----------------------------------------------------------
+
+fn write_partitioning(w: &mut XmlWriter, p: &RangePartitioning) {
+    w.open_with("Partitioning", &[("column", &p.column)]);
+    for b in &p.boundaries {
+        write_value(w, "Boundary", b);
+    }
+    w.close();
+}
+
+fn read_partitioning(node: &XmlNode) -> Result<RangePartitioning, SchemaError> {
+    let column = node.require_attr("column")?;
+    let mut boundaries = Vec::new();
+    for b in node.children_named("Boundary") {
+        boundaries.push(read_value(b)?);
+    }
+    Ok(RangePartitioning::new(column, boundaries))
+}
+
+// ---- configuration ---------------------------------------------------------
+
+fn qualified(attr: &str) -> Result<QualifiedColumn, SchemaError> {
+    let (t, c) = attr
+        .split_once('.')
+        .ok_or_else(|| invalid(format!("expected table.column, got '{attr}'")))?;
+    Ok(QualifiedColumn::new(t, c))
+}
+
+fn write_structure(w: &mut XmlWriter, s: &PhysicalStructure) {
+    match s {
+        PhysicalStructure::Index(ix) => {
+            let kind = match ix.kind {
+                IndexKind::Clustered => "clustered",
+                IndexKind::NonClustered => "nonclustered",
+            };
+            let keys = ix.key_columns.join(",");
+            let includes = ix.included_columns.join(",");
+            let mut attrs = vec![
+                ("database", ix.database.as_str()),
+                ("table", ix.table.as_str()),
+                ("kind", kind),
+                ("keys", keys.as_str()),
+            ];
+            if !includes.is_empty() {
+                attrs.push(("includes", includes.as_str()));
+            }
+            if ix.enforces_constraint {
+                attrs.push(("constraint", "true"));
+            }
+            if let Some(p) = &ix.partitioning {
+                w.open_with("Index", &attrs);
+                write_partitioning(w, p);
+                w.close();
+            } else {
+                w.leaf("Index", &attrs);
+            }
+        }
+        PhysicalStructure::View(v) => {
+            let tables = v.tables.join(",");
+            w.open_with(
+                "MaterializedView",
+                &[("database", v.database.as_str()), ("tables", tables.as_str())],
+            );
+            for jp in &v.join_pairs {
+                w.leaf(
+                    "Join",
+                    &[
+                        ("left", &format!("{}", jp.left)),
+                        ("right", &format!("{}", jp.right)),
+                    ],
+                );
+            }
+            for g in &v.group_by {
+                w.leaf("GroupBy", &[("column", &format!("{g}"))]);
+            }
+            for p in &v.projected {
+                w.leaf("Project", &[("column", &format!("{p}"))]);
+            }
+            for a in &v.aggregates {
+                let mut attrs = vec![("func", a.func.name())];
+                if let Some(text) = &a.arg {
+                    attrs.push(("arg", text.as_str()));
+                }
+                if a.arg_columns.is_empty() {
+                    w.leaf("Aggregate", &attrs);
+                } else {
+                    w.open_with("Aggregate", &attrs);
+                    for qc in &a.arg_columns {
+                        w.leaf("ArgColumn", &[("column", &format!("{qc}"))]);
+                    }
+                    w.close();
+                }
+            }
+            if let Some(p) = &v.partitioning {
+                write_partitioning(w, p);
+            }
+            w.close();
+        }
+        PhysicalStructure::TablePartitioning { database, table, scheme } => {
+            w.open_with(
+                "TablePartitioning",
+                &[("database", database.as_str()), ("table", table.as_str())],
+            );
+            write_partitioning(w, scheme);
+            w.close();
+        }
+    }
+}
+
+fn read_structure(node: &XmlNode) -> Result<PhysicalStructure, SchemaError> {
+    match node.name.as_str() {
+        "Index" => {
+            let database = node.require_attr("database")?;
+            let table = node.require_attr("table")?;
+            let kind = match node.require_attr("kind")? {
+                "clustered" => IndexKind::Clustered,
+                "nonclustered" => IndexKind::NonClustered,
+                other => return Err(invalid(format!("unknown index kind '{other}'"))),
+            };
+            let keys: Vec<&str> =
+                node.require_attr("keys")?.split(',').filter(|s| !s.is_empty()).collect();
+            let includes: Vec<&str> = node
+                .attr("includes")
+                .map(|s| s.split(',').filter(|s| !s.is_empty()).collect())
+                .unwrap_or_default();
+            let mut ix = match kind {
+                IndexKind::Clustered => Index::clustered(database, table, &keys),
+                IndexKind::NonClustered => Index::non_clustered(database, table, &keys, &includes),
+            };
+            if node.attr("constraint") == Some("true") {
+                ix = ix.constraint();
+            }
+            if let Some(p) = node.child("Partitioning") {
+                ix = ix.partitioned(read_partitioning(p)?);
+            }
+            if !ix.is_well_formed() {
+                return Err(invalid(format!("malformed index '{}'", ix.name())));
+            }
+            Ok(PhysicalStructure::Index(ix))
+        }
+        "MaterializedView" => {
+            let database = node.require_attr("database")?;
+            let tables: Vec<&str> = node.require_attr("tables")?.split(',').collect();
+            let mut join_pairs = Vec::new();
+            for j in node.children_named("Join") {
+                join_pairs.push(JoinPair::new(
+                    qualified(j.require_attr("left")?)?,
+                    qualified(j.require_attr("right")?)?,
+                ));
+            }
+            let mut group_by = Vec::new();
+            for g in node.children_named("GroupBy") {
+                group_by.push(qualified(g.require_attr("column")?)?);
+            }
+            let mut projected = Vec::new();
+            for p in node.children_named("Project") {
+                projected.push(qualified(p.require_attr("column")?)?);
+            }
+            let mut aggregates = Vec::new();
+            for a in node.children_named("Aggregate") {
+                let func = AggFunc::from_name(&a.require_attr("func")?.to_ascii_lowercase())
+                    .ok_or_else(|| invalid("unknown aggregate function"))?;
+                let arg = a.attr("arg").map(str::to_string);
+                let mut arg_columns = Vec::new();
+                for c in a.children_named("ArgColumn") {
+                    arg_columns.push(qualified(c.require_attr("column")?)?);
+                }
+                aggregates.push(ViewAggregate { func, arg, arg_columns });
+            }
+            let mut view = if group_by.is_empty() && aggregates.is_empty() {
+                MaterializedView::join_view(database, &tables, join_pairs, projected)
+            } else {
+                MaterializedView::grouped(database, &tables, join_pairs, group_by, aggregates)
+            };
+            if let Some(p) = node.child("Partitioning") {
+                view = view.partitioned(read_partitioning(p)?);
+            }
+            if !view.is_well_formed() {
+                return Err(invalid(format!("malformed view '{}'", view.name())));
+            }
+            Ok(PhysicalStructure::View(view))
+        }
+        "TablePartitioning" => {
+            let scheme = read_partitioning(
+                node.child("Partitioning")
+                    .ok_or_else(|| invalid("TablePartitioning without Partitioning child"))?,
+            )?;
+            Ok(PhysicalStructure::TablePartitioning {
+                database: node.require_attr("database")?.to_string(),
+                table: node.require_attr("table")?.to_string(),
+                scheme,
+            })
+        }
+        other => Err(invalid(format!("unknown structure element <{other}>"))),
+    }
+}
+
+fn write_configuration_into(w: &mut XmlWriter, config: &Configuration) {
+    w.open("Configuration");
+    for s in config.iter() {
+        write_structure(w, s);
+    }
+    w.close();
+}
+
+/// Serialize a configuration.
+pub fn configuration_to_xml(config: &Configuration) -> String {
+    let mut w = XmlWriter::new();
+    write_configuration_into(&mut w, config);
+    w.finish()
+}
+
+fn configuration_from_node(node: &XmlNode) -> Result<Configuration, SchemaError> {
+    if node.name != "Configuration" {
+        return Err(invalid(format!("expected <Configuration>, got <{}>", node.name)));
+    }
+    let mut config = Configuration::new();
+    for child in &node.children {
+        config.add(read_structure(child)?);
+    }
+    Ok(config)
+}
+
+/// Parse a configuration document.
+pub fn configuration_from_xml(text: &str) -> Result<Configuration, SchemaError> {
+    configuration_from_node(&parse_document(text)?)
+}
+
+// ---- workload -----------------------------------------------------------
+
+/// Serialize a workload.
+pub fn workload_to_xml(workload: &Workload) -> String {
+    let mut w = XmlWriter::new();
+    w.open("Workload");
+    for item in &workload.items {
+        let weight = item.weight.to_string();
+        w.text_element(
+            "Statement",
+            &[("database", item.database.as_str()), ("weight", weight.as_str())],
+            &item.statement.to_string(),
+        );
+    }
+    w.close();
+    w.finish()
+}
+
+/// Parse a workload document.
+pub fn workload_from_xml(text: &str) -> Result<Workload, SchemaError> {
+    let root = parse_document(text)?;
+    if root.name != "Workload" {
+        return Err(invalid("expected <Workload> root"));
+    }
+    let mut items = Vec::new();
+    for s in root.children_named("Statement") {
+        let database = s.require_attr("database")?;
+        let weight: f64 = s
+            .attr("weight")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| invalid("bad weight"))?;
+        let stmt = dta_sql::parse_statement(&s.text)
+            .map_err(|e| invalid(format!("statement does not parse: {e}")))?;
+        items.push(WorkloadItem::weighted(database, stmt, weight));
+    }
+    Ok(Workload::from_items(items))
+}
+
+// ---- options -----------------------------------------------------------
+
+/// Serialize tuning options (the DTA input document).
+pub fn options_to_xml(options: &TuningOptions) -> String {
+    let mut w = XmlWriter::new();
+    let mut features = Vec::new();
+    if options.features.indexes {
+        features.push("indexes");
+    }
+    if options.features.views {
+        features.push("views");
+    }
+    if options.features.partitioning {
+        features.push("partitioning");
+    }
+    let features = features.join(",");
+    let alignment = match options.alignment {
+        AlignmentMode::None => "none",
+        AlignmentMode::Lazy => "lazy",
+        AlignmentMode::Eager => "eager",
+    };
+    let storage;
+    let budget;
+    let mut attrs: Vec<(&str, &str)> = vec![
+        ("features", features.as_str()),
+        ("alignment", alignment),
+        ("compress", if options.compress { "true" } else { "false" }),
+        ("reduceStatistics", if options.reduce_statistics { "true" } else { "false" }),
+    ];
+    if let Some(b) = options.storage_bytes {
+        storage = b.to_string();
+        attrs.push(("storageBytes", storage.as_str()));
+    }
+    if let Some(t) = options.time_budget_units {
+        budget = t.to_string();
+        attrs.push(("timeBudget", budget.as_str()));
+    }
+    w.open_with("TuningOptions", &attrs);
+    if let Some(user) = &options.user_specified {
+        w.open("UserSpecified");
+        write_configuration_into(&mut w, user);
+        w.close();
+    }
+    w.close();
+    w.finish()
+}
+
+/// Parse a tuning-options document. Unspecified knobs take defaults.
+pub fn options_from_xml(text: &str) -> Result<TuningOptions, SchemaError> {
+    let root = parse_document(text)?;
+    if root.name != "TuningOptions" {
+        return Err(invalid("expected <TuningOptions> root"));
+    }
+    let mut options = TuningOptions::default();
+    if let Some(f) = root.attr("features") {
+        let set: Vec<&str> = f.split(',').collect();
+        options.features = FeatureSet {
+            indexes: set.contains(&"indexes"),
+            views: set.contains(&"views"),
+            partitioning: set.contains(&"partitioning"),
+        };
+    }
+    match root.attr("alignment") {
+        Some("lazy") => options.alignment = AlignmentMode::Lazy,
+        Some("eager") => options.alignment = AlignmentMode::Eager,
+        _ => options.alignment = AlignmentMode::None,
+    }
+    if let Some(c) = root.attr("compress") {
+        options.compress = c == "true";
+    }
+    if let Some(r) = root.attr("reduceStatistics") {
+        options.reduce_statistics = r == "true";
+    }
+    if let Some(s) = root.attr("storageBytes") {
+        options.storage_bytes = Some(s.parse().map_err(|_| invalid("bad storageBytes"))?);
+    }
+    if let Some(t) = root.attr("timeBudget") {
+        options.time_budget_units = Some(t.parse().map_err(|_| invalid("bad timeBudget"))?);
+    }
+    if let Some(user) = root.child("UserSpecified") {
+        let cfg = user
+            .child("Configuration")
+            .ok_or_else(|| invalid("UserSpecified without Configuration"))?;
+        options.user_specified = Some(configuration_from_node(cfg)?);
+    }
+    Ok(options)
+}
+
+// ---- result -----------------------------------------------------------
+
+/// Serialize a tuning result (the DTA output document). The embedded
+/// `<Configuration>` can be fed back as a user-specified configuration —
+/// §6.3's iterative-tuning loop.
+pub fn result_to_xml(result: &TuningResult) -> String {
+    let mut w = XmlWriter::new();
+    w.open("DTAOutput");
+    let improvement = format!("{:.4}", result.expected_improvement());
+    let base = format!("{:.3}", result.base_cost);
+    let rec = format!("{:.3}", result.recommended_cost);
+    let statements = result.statements_tuned.to_string();
+    let events = result.total_events.to_string();
+    let calls = result.whatif_calls.to_string();
+    let storage = result.storage_bytes.to_string();
+    w.leaf(
+        "Report",
+        &[
+            ("expectedImprovement", improvement.as_str()),
+            ("baseCost", base.as_str()),
+            ("recommendedCost", rec.as_str()),
+            ("statementsTuned", statements.as_str()),
+            ("totalEvents", events.as_str()),
+            ("whatifCalls", calls.as_str()),
+            ("storageBytes", storage.as_str()),
+        ],
+    );
+    w.open("Recommendation");
+    write_configuration_into(&mut w, &result.recommendation);
+    w.close();
+    w.close();
+    w.finish()
+}
+
+/// Extract the recommended configuration from an output document.
+pub fn recommendation_from_output(text: &str) -> Result<Configuration, SchemaError> {
+    let root = parse_document(text)?;
+    if root.name != "DTAOutput" {
+        return Err(invalid("expected <DTAOutput> root"));
+    }
+    let rec = root
+        .child("Recommendation")
+        .and_then(|r| r.child("Configuration"))
+        .ok_or_else(|| invalid("missing Recommendation/Configuration"))?;
+    configuration_from_node(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> Configuration {
+        Configuration::from_structures([
+            PhysicalStructure::Index(
+                Index::non_clustered("db", "t", &["a", "b"], &["pad"]).partitioned(
+                    RangePartitioning::new(
+                        "a",
+                        vec![Value::Int(10), Value::Float(2.5), Value::Str("x<&>".into())],
+                    ),
+                ),
+            ),
+            PhysicalStructure::Index(Index::clustered("db", "u", &["k"]).constraint()),
+            PhysicalStructure::TablePartitioning {
+                database: "db".into(),
+                table: "t".into(),
+                scheme: RangePartitioning::new("a", vec![Value::Int(10)]),
+            },
+            PhysicalStructure::View(
+                MaterializedView::grouped(
+                    "db",
+                    &["t", "u"],
+                    vec![JoinPair::new(
+                        QualifiedColumn::new("t", "k"),
+                        QualifiedColumn::new("u", "k"),
+                    )],
+                    vec![QualifiedColumn::new("t", "a")],
+                    vec![
+                        ViewAggregate::count_star(),
+                        ViewAggregate::column(AggFunc::Sum, QualifiedColumn::new("u", "v")),
+                        ViewAggregate::expr(
+                            AggFunc::Sum,
+                            "u.v * (1 - t.a)",
+                            vec![QualifiedColumn::new("u", "v"), QualifiedColumn::new("t", "a")],
+                        ),
+                    ],
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn configuration_roundtrip() {
+        let config = sample_config();
+        let xml = configuration_to_xml(&config);
+        let back = configuration_from_xml(&xml).unwrap();
+        assert_eq!(config, back, "\n{xml}");
+    }
+
+    #[test]
+    fn workload_roundtrip() {
+        let mut workload = Workload::from_sql_file(
+            "db",
+            "SELECT a FROM t WHERE x < 10; UPDATE t SET a = 1 WHERE k = 'it''s';",
+        )
+        .unwrap();
+        workload.items[0].weight = 25.0;
+        let xml = workload_to_xml(&workload);
+        let back = workload_from_xml(&xml).unwrap();
+        assert_eq!(workload, back, "\n{xml}");
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let mut options = TuningOptions::default()
+            .with_storage_mb(200)
+            .with_features(FeatureSet::indexes_and_views())
+            .with_alignment();
+        options.compress = false;
+        options.time_budget_units = Some(5000.0);
+        options.user_specified = Some(sample_config());
+        let xml = options_to_xml(&options);
+        let back = options_from_xml(&xml).unwrap();
+        assert_eq!(back.features, options.features);
+        assert_eq!(back.alignment, options.alignment);
+        assert_eq!(back.compress, options.compress);
+        assert_eq!(back.storage_bytes, options.storage_bytes);
+        assert_eq!(back.time_budget_units, options.time_budget_units);
+        assert_eq!(back.user_specified, options.user_specified);
+    }
+
+    #[test]
+    fn output_feeds_back_as_input() {
+        // §6.3: take the output configuration of one run and feed a
+        // modified version as input into a subsequent run
+        let result = TuningResult {
+            recommendation: sample_config(),
+            base_cost: 100.0,
+            recommended_cost: 25.0,
+            statements_tuned: 5,
+            total_statements: 50,
+            total_events: 50.0,
+            whatif_calls: 10,
+            evaluations: 20,
+            candidates_generated: 30,
+            candidates_selected: 8,
+            pool_size: 9,
+            lazy_variants: 0,
+            stats_requested: 4,
+            stats_created: 2,
+            stats_work_units: 3.0,
+            tuning_work_units: 100.0,
+            storage_bytes: 1 << 20,
+        };
+        let out_xml = result_to_xml(&result);
+        let recovered = recommendation_from_output(&out_xml).unwrap();
+        assert_eq!(recovered, result.recommendation);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(configuration_from_xml("<Configuration><Index/></Configuration>").is_err());
+        assert!(configuration_from_xml("<Nope/>").is_err());
+        assert!(workload_from_xml(
+            "<Workload><Statement database=\"d\">NOT SQL</Statement></Workload>"
+        )
+        .is_err());
+        assert!(configuration_from_xml(
+            "<Configuration><Index database=\"d\" table=\"t\" kind=\"hash\" keys=\"a\"/></Configuration>"
+        )
+        .is_err());
+        // malformed index (empty keys)
+        assert!(configuration_from_xml(
+            "<Configuration><Index database=\"d\" table=\"t\" kind=\"nonclustered\" keys=\"\"/></Configuration>"
+        )
+        .is_err());
+    }
+}

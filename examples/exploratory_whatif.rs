@@ -1,0 +1,110 @@
+//! Exploratory ("what-if") analysis and user-specified configurations —
+//! §6.2 and §6.3 of the paper.
+//!
+//! The DBA's scenario from §6.2: should the fact table be range
+//! partitioned *by month* or *by quarter*? Either is acceptable for
+//! manageability; DTA evaluates both as user-specified configurations —
+//! without ever materializing anything — and the DBA picks the better
+//! one. The chosen design is then exported through the public XML schema
+//! and fed back into a second, refining tuning run (§6.3's iterative
+//! tuning).
+//!
+//! Run with: `cargo run --release --example exploratory_whatif`
+
+use dta::advisor::{evaluate_configuration, tune, AlignmentMode, TuningOptions};
+use dta::prelude::*;
+use dta::xml::{configuration_from_xml, configuration_to_xml};
+
+fn main() {
+    // a sales fact table with a date-ish month column
+    let mut server = Server::new("prod");
+    let mut db = Database::new("sales");
+    db.add_table(
+        Table::new(
+            "fact",
+            vec![
+                Column::new("k", ColumnType::BigInt),
+                Column::new("month", ColumnType::Int), // 0..=11
+                Column::new("store", ColumnType::Int),
+                Column::new("amount", ColumnType::Float),
+            ],
+        )
+        .with_primary_key(&["k"]),
+    )
+    .unwrap();
+    server.create_database(db).unwrap();
+    let data = server.table_data_mut("sales", "fact").unwrap();
+    for i in 0..120_000i64 {
+        data.push_row(vec![
+            Value::Int(i),
+            Value::Int(i % 12),
+            Value::Int(i % 400),
+            Value::Float((i % 1009) as f64),
+        ]);
+    }
+    data.set_scale(20.0);
+
+    let workload = Workload::from_sql_file(
+        "sales",
+        "SELECT store, SUM(amount) FROM fact WHERE month = 3 GROUP BY store;
+         SELECT store, SUM(amount) FROM fact WHERE month BETWEEN 0 AND 2 GROUP BY store;
+         SELECT COUNT(*) FROM fact WHERE month = 11;
+         SELECT amount FROM fact WHERE store = 123;",
+    )
+    .unwrap();
+    let target = TuningTarget::Single(&server);
+
+    // ---- §6.2: month vs quarter, tried without materializing anything ----
+    let by_month = Configuration::from_structures([PhysicalStructure::TablePartitioning {
+        database: "sales".into(),
+        table: "fact".into(),
+        scheme: RangePartitioning::new("month", (0..11).map(Value::Int).collect()),
+    }]);
+    let by_quarter = Configuration::from_structures([PhysicalStructure::TablePartitioning {
+        database: "sales".into(),
+        table: "fact".into(),
+        scheme: RangePartitioning::new("month", vec![Value::Int(2), Value::Int(5), Value::Int(8)]),
+    }]);
+
+    let mut best: Option<(&str, Configuration, f64)> = None;
+    for (name, user) in [("by month", by_month), ("by quarter", by_quarter)] {
+        let options = TuningOptions {
+            user_specified: Some(user),
+            alignment: AlignmentMode::Lazy,
+            ..Default::default()
+        };
+        let result = tune(&target, &workload, &options).unwrap();
+        println!(
+            "partitioning {name:10}: expected improvement {:.1}% ({} structures)",
+            result.expected_improvement() * 100.0,
+            result.recommendation.len()
+        );
+        let cost = result.recommended_cost;
+        if best.as_ref().map_or(true, |(_, _, c)| cost < *c) {
+            best = Some((name, result.recommendation, cost));
+        }
+    }
+    let (winner, config, _) = best.expect("two candidates evaluated");
+    println!("the DBA picks: {winner}");
+
+    // ---- §6.3: evaluate the chosen design in detail ---------------------
+    let report =
+        evaluate_configuration(&target, &workload, &server.raw_configuration(), &config).unwrap();
+    println!("\n{report}");
+
+    // ---- §6.1/§6.3: XML round-trip into a refining run -------------------
+    let xml = configuration_to_xml(&config);
+    println!("exported configuration ({} bytes of XML)", xml.len());
+    let imported = configuration_from_xml(&xml).expect("schema round-trips");
+    assert_eq!(imported, config);
+    let refined = tune(
+        &target,
+        &workload,
+        &TuningOptions { user_specified: Some(imported), ..Default::default() },
+    )
+    .unwrap();
+    println!(
+        "refining run keeps the user design and reaches {:.1}% expected improvement",
+        refined.expected_improvement() * 100.0
+    );
+}

@@ -1,0 +1,72 @@
+//! Production/test-server tuning — §5.3 of the paper.
+//!
+//! Copies *metadata and statistics only* (never data) from a production
+//! server to a test server, simulates the production hardware on the
+//! test server, tunes there, and shows (a) that the recommendation is
+//! identical to tuning directly on production and (b) how much overhead
+//! the production server is spared (Figure 3's measure).
+//!
+//! Run with: `cargo run --release --example production_test_server`
+
+use dta::advisor::{tune, TuningOptions};
+use dta::prelude::*;
+use dta::workload::tpch;
+
+fn main() {
+    println!("building the production server (TPC-H)...");
+    let production = tpch::build_server(tpch::TpchScale::new(0.005, 1.0), 7);
+    let workload = tpch::workload();
+    let options = TuningOptions { ..Default::default() };
+
+    // ---- tune directly on production -----------------------------------
+    production.reset_overhead();
+    let on_prod = tune(&TuningTarget::Single(&production), &workload, &options).unwrap();
+    let prod_only_overhead = production.overhead_units();
+    println!(
+        "tuning on production alone: {:.0} work units of overhead, {:.1}% expected improvement",
+        prod_only_overhead,
+        on_prod.expected_improvement() * 100.0
+    );
+
+    // ---- set up the test server: metadata + statistics, no data --------
+    let mut test = Server::new("test").with_hardware(HardwareParams::test_default());
+    prepare_test_server(&production, &mut test).unwrap();
+    println!(
+        "test server prepared: {} tables imported, {} bytes of data copied",
+        test.catalog().database("tpch").unwrap().table_count(),
+        test.store().table("tpch", "lineitem").unwrap().rows() * 0 // literally zero
+    );
+
+    // ---- tune via the test server --------------------------------------
+    production.reset_overhead();
+    test.reset_overhead();
+    let target = TuningTarget::ProdTest { production: &production, test: &test };
+    let via_test = tune(&target, &workload, &options).unwrap();
+    let prod_overhead = production.overhead_units();
+    let test_overhead = test.overhead_units();
+
+    println!(
+        "tuning via test server: production overhead {:.0} units, test server {:.0} units",
+        prod_overhead, test_overhead
+    );
+    println!(
+        "reduction in production-server overhead: {:.0}%  (paper's Figure 3: 60-90%)",
+        (1.0 - prod_overhead / prod_only_overhead) * 100.0
+    );
+    println!(
+        "expected improvement via test server: {:.1}% (vs {:.1}% directly)",
+        via_test.expected_improvement() * 100.0,
+        on_prod.expected_improvement() * 100.0
+    );
+
+    // the recommendations agree because the test server simulates the
+    // production hardware and owns identical statistics
+    let mut a: Vec<String> = on_prod.recommendation.iter().map(|s| s.name()).collect();
+    let mut b: Vec<String> = via_test.recommendation.iter().map(|s| s.name()).collect();
+    a.sort();
+    b.sort();
+    println!(
+        "recommendations identical: {}",
+        if a == b { "yes" } else { "no (statistics sampled at different times)" }
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a database, define a workload, run DTA, inspect the
+//! recommendation, implement it, and verify with real execution.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dta::prelude::*;
+
+fn main() {
+    // ---- 1. a server with one database -------------------------------
+    let mut server = Server::new("production");
+    let mut db = Database::new("shop");
+    db.add_table(
+        Table::new(
+            "orders",
+            vec![
+                Column::new("o_id", ColumnType::BigInt),
+                Column::new("o_customer", ColumnType::Int),
+                Column::new("o_month", ColumnType::Int),
+                Column::new("o_total", ColumnType::Float),
+                Column::new("o_note", ColumnType::Str(64)),
+            ],
+        )
+        .with_primary_key(&["o_id"]),
+    )
+    .unwrap();
+    server.create_database(db).unwrap();
+
+    // load 100k rows
+    let data = server.table_data_mut("shop", "orders").unwrap();
+    for i in 0..100_000i64 {
+        data.push_row(vec![
+            Value::Int(i),
+            Value::Int(i % 5_000),
+            Value::Int(i % 12),
+            Value::Float((i % 997) as f64 / 10.0),
+            Value::Str(format!("order number {i}")),
+        ]);
+    }
+
+    // ---- 2. the workload (e.g. captured by a profiler) ----------------
+    let mut sql = String::new();
+    for c in [17, 42, 99, 1234, 4999] {
+        sql.push_str(&format!("SELECT o_total FROM orders WHERE o_customer = {c};\n"));
+    }
+    sql.push_str("SELECT o_month, COUNT(*), SUM(o_total) FROM orders GROUP BY o_month;\n");
+    sql.push_str("SELECT o_note FROM orders WHERE o_month = 6 AND o_total > 50.0;\n");
+    let workload = Workload::from_sql_file("shop", &sql).unwrap();
+    println!("workload: {} statements, {:.0} events", workload.len(), workload.total_events());
+
+    // ---- 3. tune -------------------------------------------------------
+    let target = TuningTarget::Single(&server);
+    let result = tune(&target, &workload, &TuningOptions::default()).expect("tuning succeeds");
+    println!("\n{result}");
+
+    // ---- 4. implement and verify with actual execution ----------------
+    server.deploy(server.raw_configuration());
+    let raw_work: f64 = workload
+        .items
+        .iter()
+        .map(|i| server.execute(&i.database, &i.statement).unwrap().work.work_units())
+        .sum();
+
+    server.deploy(result.recommendation.clone());
+    let tuned_work: f64 = workload
+        .items
+        .iter()
+        .map(|i| server.execute(&i.database, &i.statement).unwrap().work.work_units())
+        .sum();
+
+    println!("\nactual execution work: raw = {raw_work:.0}, tuned = {tuned_work:.0}");
+    println!(
+        "actual improvement: {:.1}% (DTA estimated {:.1}%)",
+        (1.0 - tuned_work / raw_work) * 100.0,
+        result.expected_improvement() * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! §5.3 production/test-server scenario, end to end.
+
+use dta::advisor::{tune, TuningOptions};
+use dta::prelude::*;
+use dta::workload::tpch;
+
+#[test]
+fn tuning_via_test_server_matches_production_and_sheds_load() {
+    let production = tpch::build_server(tpch::TpchScale::tiny(), 5);
+    let workload = tpch::workload();
+    let options = TuningOptions { parallel_workers: 1, ..Default::default() };
+
+    // 1) tune directly on production, measuring its overhead
+    production.reset_overhead();
+    let direct = tune(&TuningTarget::Single(&production), &workload, &options).unwrap();
+    let direct_overhead = production.overhead_units();
+    assert!(direct_overhead > 0.0);
+
+    // 2) prepare a (weaker) test server: metadata + statistics only
+    let mut test = Server::new("test").with_hardware(HardwareParams::test_default());
+    prepare_test_server(&production, &mut test).unwrap();
+    // hardware simulation happened
+    assert_eq!(test.hardware(), production.hardware());
+    // zero data was copied
+    for (db, table) in [("tpch", "lineitem"), ("tpch", "orders"), ("tpch", "customer")] {
+        assert_eq!(test.store().table(db, table).unwrap().rows(), 0, "{table} has data!");
+    }
+
+    // 3) tune via the pair
+    production.reset_overhead();
+    test.reset_overhead();
+    let target = TuningTarget::ProdTest { production: &production, test: &test };
+    let via_test = tune(&target, &workload, &options).unwrap();
+    let prod_overhead = production.overhead_units();
+
+    // production only pays for statistics creation — a large reduction
+    assert!(
+        prod_overhead < direct_overhead * 0.6,
+        "overhead reduction too small: {prod_overhead} vs {direct_overhead}"
+    );
+    // and the test server did real work
+    assert!(test.overhead_units() > 0.0);
+
+    // 4) recommendation quality matches direct tuning closely (the test
+    //    server owns the same statistics and simulated hardware; small
+    //    divergence can come from sampling order)
+    assert!(
+        (via_test.expected_improvement() - direct.expected_improvement()).abs() < 0.15,
+        "via test {:.3} vs direct {:.3}",
+        via_test.expected_improvement(),
+        direct.expected_improvement()
+    );
+}
+
+#[test]
+fn what_if_costs_identical_after_import() {
+    // the key §5.3 claim: with metadata + statistics + hardware simulated,
+    // the optimizer behaves as it would on production
+    let production = tpch::build_server(tpch::TpchScale::tiny(), 6);
+    production.create_statistics(&[
+        dta::stats::StatKey::new("tpch", "lineitem", &["l_shipdate"]),
+        dta::stats::StatKey::new("tpch", "orders", &["o_orderdate"]),
+    ]);
+    let mut test = Server::new("test");
+    prepare_test_server(&production, &mut test).unwrap();
+
+    let config = Configuration::from_structures([PhysicalStructure::Index(
+        Index::non_clustered("tpch", "lineitem", &["l_shipdate"], &["l_extendedprice", "l_discount", "l_quantity"]),
+    )]);
+    for item in tpch::workload().items.iter().take(8) {
+        let p = production.whatif(&item.database, &item.statement, &config).unwrap();
+        let t = test.whatif(&item.database, &item.statement, &config).unwrap();
+        assert!(
+            (p.cost - t.cost).abs() < 1e-6,
+            "costs diverge for {}: {} vs {}",
+            item.statement,
+            p.cost,
+            t.cost
+        );
+    }
+}

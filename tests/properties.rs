@@ -1,0 +1,136 @@
+//! Property-based tests on cross-crate invariants.
+
+use dta::prelude::*;
+use dta::sql::{parse_statement, signature};
+use dta::stats::Histogram;
+use proptest::prelude::*;
+
+// ---- SQL: parse → print → parse is the identity -------------------------
+
+/// A generator of well-formed SELECT statements in the dialect.
+fn arb_select() -> impl Strategy<Value = String> {
+    let ident = prop::sample::select(vec!["a", "b", "c", "x", "y"]);
+    let table = prop::sample::select(vec!["t", "u", "orders"]);
+    let cmp = prop::sample::select(vec!["=", "<", "<=", ">", ">=", "<>"]);
+    (
+        prop::collection::vec(ident.clone(), 1..4),
+        table,
+        prop::option::of((ident.clone(), cmp, -1000i64..1000)),
+        prop::option::of(ident.clone()),
+        prop::option::of(ident),
+        any::<bool>(),
+    )
+        .prop_map(|(cols, table, pred, group, order, distinct)| {
+            let mut sql = String::from("SELECT ");
+            if distinct {
+                sql.push_str("DISTINCT ");
+            }
+            sql.push_str(&cols.join(", "));
+            sql.push_str(&format!(" FROM {table}"));
+            if let Some((c, op, v)) = pred {
+                sql.push_str(&format!(" WHERE {c} {op} {v}"));
+            }
+            if let Some(g) = group {
+                // grouped variant replaces the whole statement
+                sql = format!("SELECT {g}, COUNT(*) FROM {table} GROUP BY {g}");
+            }
+            if let Some(o) = order {
+                if !sql.contains("GROUP BY") {
+                    sql.push_str(&format!(" ORDER BY {o}"));
+                }
+            }
+            sql
+        })
+}
+
+proptest! {
+    #[test]
+    fn sql_roundtrip(sql in arb_select()) {
+        let stmt = parse_statement(&sql).expect("generated SQL parses");
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed).expect("printed SQL parses");
+        prop_assert_eq!(&stmt, &reparsed);
+        // and signatures are stable across the round trip
+        prop_assert_eq!(signature(&stmt), signature(&reparsed));
+    }
+
+    #[test]
+    fn histogram_selectivities_are_probabilities(
+        values in prop::collection::vec(-10_000i64..10_000, 0..500),
+        probe in -12_000i64..12_000,
+    ) {
+        let h = Histogram::build(values.iter().copied().map(Value::Int).collect());
+        let v = Value::Int(probe);
+        for s in [
+            h.selectivity_eq(&v),
+            h.selectivity_lt(&v, false),
+            h.selectivity_lt(&v, true),
+            h.selectivity_gt(&v, false),
+            h.selectivity_gt(&v, true),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&s), "selectivity {} out of range", s);
+        }
+        // lt + gt partition the non-null space (within rounding)
+        if !h.is_empty() {
+            let total = h.selectivity_lt(&v, true) + h.selectivity_gt(&v, false);
+            prop_assert!(total <= 1.0 + 1e-6, "lt+gt = {}", total);
+        }
+    }
+
+    #[test]
+    fn histogram_eq_matches_exact_frequency(
+        values in prop::collection::vec(0i64..50, 1..400),
+        probe in 0i64..50,
+    ) {
+        let n = values.len() as f64;
+        let h = Histogram::build(values.iter().copied().map(Value::Int).collect());
+        let actual = values.iter().filter(|&&x| x == probe).count() as f64 / n;
+        let est = h.selectivity_eq(&Value::Int(probe));
+        // small domains build exact histograms (≤200 buckets): estimates
+        // should be very close to truth
+        prop_assert!((est - actual).abs() < 0.05, "est {} vs actual {}", est, actual);
+    }
+
+    #[test]
+    fn partitioning_covers_domain(
+        mut boundaries in prop::collection::vec(-1000i64..1000, 0..10),
+        probe in -1500i64..1500,
+    ) {
+        boundaries.sort();
+        let p = RangePartitioning::new("c", boundaries.iter().copied().map(Value::Int).collect());
+        let idx = p.partition_of(&Value::Int(probe));
+        prop_assert!(idx < p.partition_count());
+        // a point range touches exactly one partition
+        let v = Value::Int(probe);
+        prop_assert_eq!(p.partitions_touched(Some(&v), Some(&v)), 1);
+        // the unbounded range touches all of them
+        prop_assert_eq!(p.partitions_touched(None, None), p.partition_count());
+    }
+
+    #[test]
+    fn configuration_set_semantics(names in prop::collection::vec("[a-d]", 1..8)) {
+        // adding the same structures in any order yields the same set
+        let mut cfg = Configuration::new();
+        for n in &names {
+            cfg.add(PhysicalStructure::Index(Index::non_clustered("db", "t", &[n.as_str()], &[])));
+        }
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(cfg.len(), unique.len());
+        // union is idempotent
+        let u = cfg.union(&cfg);
+        prop_assert_eq!(u.len(), cfg.len());
+    }
+}
+
+// ---- signatures: instances of one template always collapse ---------------
+
+proptest! {
+    #[test]
+    fn signatures_ignore_constants(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let s1 = parse_statement(&format!("SELECT x FROM t WHERE a = {a} AND b < {b}")).unwrap();
+        let s2 = parse_statement("SELECT x FROM t WHERE a = 0 AND b < 1").unwrap();
+        prop_assert_eq!(signature(&s1), signature(&s2));
+    }
+}

@@ -1,0 +1,99 @@
+//! §6 scriptability: the whole tuning loop driven through the public XML
+//! schema — workload in, options in, recommendation out, recommendation
+//! back in as a user-specified configuration for a refining run.
+
+use dta::advisor::{tune, TuningOptions};
+use dta::prelude::*;
+use dta::xml;
+
+fn setup() -> (Server, Workload) {
+    let mut server = Server::new("s");
+    let mut db = Database::new("d");
+    db.add_table(
+        Table::new(
+            "t",
+            vec![
+                Column::new("k", ColumnType::BigInt),
+                Column::new("a", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+                Column::new("pad", ColumnType::Str(40)),
+            ],
+        )
+        .with_primary_key(&["k"]),
+    )
+    .unwrap();
+    server.create_database(db).unwrap();
+    let data = server.table_data_mut("d", "t").unwrap();
+    for i in 0..30_000i64 {
+        data.push_row(vec![
+            Value::Int(i),
+            Value::Int(i % 300),
+            Value::Int(i % 10),
+            Value::Str(format!("{i:040}")),
+        ]);
+    }
+    data.set_scale(20.0);
+    let workload = Workload::from_sql_file(
+        "d",
+        "SELECT pad FROM t WHERE a = 17;
+         SELECT pad FROM t WHERE a = 100;
+         SELECT g, COUNT(*) FROM t WHERE a BETWEEN 10 AND 60 GROUP BY g;",
+    )
+    .unwrap();
+    (server, workload)
+}
+
+#[test]
+fn full_xml_loop() {
+    let (server, workload) = setup();
+
+    // ship the workload as XML (as another tool would)
+    let workload_xml = xml::workload_to_xml(&workload);
+    let workload2 = xml::workload_from_xml(&workload_xml).expect("workload parses back");
+    assert_eq!(workload, workload2);
+
+    // ship options as XML
+    let options = TuningOptions::default().with_storage_mb(500);
+    let options_xml = xml::options_to_xml(&options);
+    let options2 = xml::options_from_xml(&options_xml).expect("options parse back");
+    assert_eq!(options2.storage_bytes, options.storage_bytes);
+
+    // tune with the deserialized inputs
+    let target = TuningTarget::Single(&server);
+    let result = tune(&target, &workload2, &options2).expect("tuning succeeds");
+    assert!(result.expected_improvement() > 0.3);
+
+    // serialize the full output; recover the recommendation
+    let out_xml = xml::result_to_xml(&result);
+    let recommendation =
+        xml::schema::recommendation_from_output(&out_xml).expect("output parses");
+    assert_eq!(recommendation, result.recommendation);
+
+    // feed it back in as a user-specified configuration (§6.3 iterative
+    // tuning): the refining run must honor every structure
+    let refine_options = TuningOptions {
+        user_specified: Some(recommendation.clone()),
+        ..TuningOptions::default()
+    };
+    let refined = tune(&target, &workload2, &refine_options).expect("refining run succeeds");
+    for s in recommendation.iter() {
+        assert!(refined.recommendation.contains(s), "refinement dropped {}", s.name());
+    }
+    // and it can only get better (or stay equal)
+    assert!(refined.recommended_cost <= result.recommended_cost * 1.001);
+}
+
+#[test]
+fn configuration_xml_handles_every_structure_kind() {
+    let (server, workload) = setup();
+    let target = TuningTarget::Single(&server);
+    // force views + partitioning into the recommendation space
+    let options = TuningOptions::default();
+    let result = tune(&target, &workload, &options).unwrap();
+    let xml_text = xml::configuration_to_xml(&result.recommendation);
+    let parsed = xml::configuration_from_xml(&xml_text).unwrap();
+    assert_eq!(parsed, result.recommendation, "\n{xml_text}");
+    // the XML is also valid input for evaluation on the server
+    let errors = parsed.validate(server.catalog());
+    assert!(errors.is_empty(), "{errors:?}");
+}
