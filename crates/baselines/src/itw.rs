@@ -75,8 +75,7 @@ mod tests {
         for i in 0..60 {
             items.push(WorkloadItem::new(
                 "d",
-                parse_statement(&format!("SELECT pad FROM t WHERE a = {}", i * 11 % 700))
-                    .unwrap(),
+                parse_statement(&format!("SELECT pad FROM t WHERE a = {}", i * 11 % 700)).unwrap(),
             ));
         }
         (server, Workload::from_items(items))

@@ -50,12 +50,8 @@ pub fn tune_staged(
         total_evals += result.evaluations;
         total_units += result.tuning_work_units;
         // everything chosen so far (beyond constraints) is frozen
-        let chosen: Configuration = result
-            .recommendation
-            .difference(&raw)
-            .into_iter()
-            .cloned()
-            .collect();
+        let chosen: Configuration =
+            result.recommendation.difference(&raw).into_iter().cloned().collect();
         fixed = Some(chosen);
         last = Some(result);
     }
@@ -129,10 +125,7 @@ mod tests {
             &target,
             &workload,
             &[
-                StagePlan {
-                    features: FeatureSet::indexes_only(),
-                    storage_bytes: None,
-                },
+                StagePlan { features: FeatureSet::indexes_only(), storage_bytes: None },
                 StagePlan {
                     features: FeatureSet { indexes: false, views: false, partitioning: true },
                     storage_bytes: None,

@@ -26,12 +26,8 @@ fn bench(c: &mut Criterion) {
         g.bench_function(label, |bench| {
             bench.iter(|| {
                 let target = TuningTarget::Single(&server);
-                tune(
-                    &target,
-                    &workload,
-                    &TuningOptions { alignment: mode, ..Default::default() },
-                )
-                .unwrap()
+                tune(&target, &workload, &TuningOptions { alignment: mode, ..Default::default() })
+                    .unwrap()
             })
         });
     }

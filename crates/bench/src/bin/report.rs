@@ -13,19 +13,32 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { RunScale::quick() } else { RunScale::standard() };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let which: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let all = which.is_empty() || which.contains(&"all");
     let want = |name: &str| all || which.contains(&name);
 
-    println!("=== DTA reproduction report (events x{}, TPC-H SF {}) ===", scale.events_fraction, scale.tpch_sf);
+    println!(
+        "=== DTA reproduction report (events x{}, TPC-H SF {}) ===",
+        scale.events_fraction, scale.tpch_sf
+    );
 
     if want("table1") {
         println!("\n--- Table 1: customer databases (ours vs paper) ---");
-        println!("{:<7} {:>9} {:>9} | {:>6} {:>6} | {:>7} {:>7}", "name", "size GB", "paper GB", "#DBs", "paper", "#tables", "paper");
+        println!(
+            "{:<7} {:>9} {:>9} | {:>6} {:>6} | {:>7} {:>7}",
+            "name", "size GB", "paper GB", "#DBs", "paper", "#tables", "paper"
+        );
         for r in table1(scale) {
             println!(
                 "{:<7} {:>9.1} {:>9.1} | {:>6} {:>6} | {:>7} {:>7}",
-                r.name, r.size_gb, r.paper_size_gb, r.databases, r.paper_databases, r.tables, r.paper_tables
+                r.name,
+                r.size_gb,
+                r.paper_size_gb,
+                r.databases,
+                r.paper_databases,
+                r.tables,
+                r.paper_tables
             );
         }
     }
@@ -69,7 +82,10 @@ fn main() {
 
     if want("figure3") {
         println!("\n--- Figure 3: reduction in production-server overhead ---");
-        println!("{:<10} {:>12} {:>12} {:>12} {:>10}", "workload", "direct", "via test", "reduction", "paper");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>10}",
+            "workload", "direct", "via test", "reduction", "paper"
+        );
         for r in figure3(scale) {
             println!(
                 "{:<10} {:>12.0} {:>12.0} {:>11.0}% {:>9.0}%",
@@ -140,7 +156,9 @@ fn main() {
                 pct(r.dta_time_fraction())
             );
         }
-        println!("(paper: quality comparable with DTA slightly better; DTA far faster on PSOFT/SYNT1)");
+        println!(
+            "(paper: quality comparable with DTA slightly better; DTA far faster on PSOFT/SYNT1)"
+        );
     }
 
     if want("staged") {

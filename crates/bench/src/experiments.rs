@@ -148,19 +148,13 @@ pub fn tpch_quality(scale: RunScale) -> TpchQuality {
     let mut tuned_work = 0.0;
     server.deploy(server.raw_configuration());
     for item in &workload.items {
-        raw_work += server
-            .execute(&item.database, &item.statement)
-            .expect("raw run")
-            .work
-            .work_units();
+        raw_work +=
+            server.execute(&item.database, &item.statement).expect("raw run").work.work_units();
     }
     server.deploy(result.recommendation.clone());
     for item in &workload.items {
-        tuned_work += server
-            .execute(&item.database, &item.statement)
-            .expect("tuned run")
-            .work
-            .work_units();
+        tuned_work +=
+            server.execute(&item.database, &item.statement).expect("tuned run").work.work_units();
     }
     TpchQuality {
         expected_improvement: result.expected_improvement(),
@@ -198,8 +192,7 @@ pub fn figure3(scale: RunScale) -> Vec<Figure3Row> {
     cases
         .into_iter()
         .map(|(label, workload, features, paper)| {
-            let options =
-                TuningOptions { features, parallel_workers: 1, ..Default::default() };
+            let options = TuningOptions { features, parallel_workers: 1, ..Default::default() };
 
             // direct: everything on the production server
             let production = tpch::build_server(tpch::TpchScale::new(scale.tpch_sf, 1.0), 42);
@@ -257,21 +250,13 @@ fn compression_case(
     let raw = server.raw_configuration();
 
     server.reset_overhead();
-    let with = tune(
-        &target,
-        workload,
-        &TuningOptions { compress: true, ..Default::default() },
-    )
-    .expect("tunes");
+    let with = tune(&target, workload, &TuningOptions { compress: true, ..Default::default() })
+        .expect("tunes");
     let with_units = with.tuning_work_units;
 
     server.reset_overhead();
-    let without = tune(
-        &target,
-        workload,
-        &TuningOptions { compress: false, ..Default::default() },
-    )
-    .expect("tunes");
+    let without = tune(&target, workload, &TuningOptions { compress: false, ..Default::default() })
+        .expect("tunes");
     let without_units = without.tuning_work_units;
 
     let q_with = quality(&target, workload, &raw, &with.recommendation);
@@ -283,7 +268,7 @@ fn compression_case(
         statements_full: without.statements_tuned,
         statements_compressed: with.statements_tuned,
         paper_quality_loss: paper_loss,
-        paper_speedup: paper_speedup,
+        paper_speedup,
     }
 }
 
@@ -420,10 +405,7 @@ pub fn dta_vs_itw(scale: RunScale) -> Vec<ItwComparisonRow> {
         let dta_result = tune(
             &target,
             workload,
-            &TuningOptions {
-                features: FeatureSet::indexes_and_views(),
-                ..Default::default()
-            },
+            &TuningOptions { features: FeatureSet::indexes_and_views(), ..Default::default() },
         )
         .expect("DTA tunes");
         let itw_result = tune_itw(&target, workload, None).expect("ITW tunes");
@@ -511,12 +493,9 @@ pub fn alignment_ablation(scale: RunScale) -> AlignmentAblation {
         let target = TuningTarget::Single(&server);
         let raw = server.raw_configuration();
         server.reset_overhead();
-        let result = tune(
-            &target,
-            &workload,
-            &TuningOptions { alignment: mode, ..Default::default() },
-        )
-        .expect("tunes");
+        let result =
+            tune(&target, &workload, &TuningOptions { alignment: mode, ..Default::default() })
+                .expect("tunes");
         assert!(result.recommendation.is_aligned());
         (
             result.pool_size,

@@ -50,6 +50,10 @@ pub struct Table {
     pub primary_key: Vec<String>,
     /// Foreign keys to parent tables.
     pub foreign_keys: Vec<ForeignKey>,
+    /// Logical row count carried by scripted metadata (0 = unknown).
+    /// Populated on export so a test server can cost queries over tables
+    /// it holds no data for (§5.3).
+    pub rows: u64,
 }
 
 impl Table {
@@ -60,6 +64,7 @@ impl Table {
             columns,
             primary_key: Vec::new(),
             foreign_keys: Vec::new(),
+            rows: 0,
         }
     }
 
@@ -167,6 +172,11 @@ impl Database {
     /// Iterate over tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
         self.tables.values()
+    }
+
+    /// Iterate mutably over tables in name order.
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
     }
 
     /// Number of tables.
@@ -284,8 +294,8 @@ mod tests {
 
     #[test]
     fn bad_primary_key_rejected() {
-        let t = Table::new("t", vec![Column::new("a", ColumnType::Int)])
-            .with_primary_key(&["nope"]);
+        let t =
+            Table::new("t", vec![Column::new("a", ColumnType::Int)]).with_primary_key(&["nope"]);
         assert!(matches!(t.validate(), Err(CatalogError::UnknownColumn { .. })));
     }
 

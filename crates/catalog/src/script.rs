@@ -5,7 +5,7 @@
 //! (§5.3): "Copy the metadata of the databases one wants to tune from the
 //! production server to the test server. We do not import the actual data
 //! from any tables." The script format is a simple line-oriented text
-//! format (one `table`/`column`/`pk`/`fk` record per line) mirroring how
+//! format (one `table`/`rows`/`column`/`pk`/`fk` record per line) mirroring how
 //! real servers script out `CREATE TABLE` statements; it is deliberately
 //! independent of the XML schema used for DTA input/output.
 
@@ -27,6 +27,9 @@ impl MetadataScript {
         text.push_str(&format!("database {}\n", db.name));
         for t in db.tables() {
             text.push_str(&format!("table {}\n", t.name));
+            if t.rows > 0 {
+                text.push_str(&format!("rows {}\n", t.rows));
+            }
             for c in &t.columns {
                 text.push_str(&format!(
                     "column {} {} {}\n",
@@ -87,19 +90,22 @@ impl MetadataScript {
                     })?;
                     let mut parts = rest.split(' ');
                     let name = parts.next().unwrap_or_default();
-                    let ty = parts
-                        .next()
-                        .and_then(ColumnType::parse_type_name)
-                        .ok_or_else(|| {
+                    let ty =
+                        parts.next().and_then(ColumnType::parse_type_name).ok_or_else(|| {
                             CatalogError::InvalidConstraint(format!("bad column line '{line}'"))
                         })?;
                     let nullable = parts.next() == Some("null");
-                    let col = if nullable {
-                        Column::nullable(name, ty)
-                    } else {
-                        Column::new(name, ty)
-                    };
+                    let col =
+                        if nullable { Column::nullable(name, ty) } else { Column::new(name, ty) };
                     t.columns.push(col);
+                }
+                "rows" => {
+                    let t = current.as_mut().ok_or_else(|| {
+                        CatalogError::InvalidConstraint("rows outside table".into())
+                    })?;
+                    t.rows = rest.parse().map_err(|_| {
+                        CatalogError::InvalidConstraint(format!("bad rows line '{line}'"))
+                    })?;
                 }
                 "pk" => {
                     let t = current.as_mut().ok_or_else(|| {
@@ -188,12 +194,14 @@ mod tests {
     #[test]
     fn malformed_scripts_rejected() {
         for bad in [
-            "table t\ncolumn a int notnull\n",          // table before database
-            "database d\ncolumn a int notnull\n",       // column outside table
-            "database d\ntable t\ncolumn a blob x\n",   // bad type
-            "database d\nfrobnicate x\n",               // unknown record
-            "",                                         // empty
-            "database d\ntable t\nfk a b\n",            // bad fk syntax
+            "table t\ncolumn a int notnull\n",        // table before database
+            "database d\ncolumn a int notnull\n",     // column outside table
+            "database d\ntable t\ncolumn a blob x\n", // bad type
+            "database d\nfrobnicate x\n",             // unknown record
+            "",                                       // empty
+            "database d\ntable t\nfk a b\n",          // bad fk syntax
+            "database d\nrows 10\n",                  // rows outside table
+            "database d\ntable t\nrows many\n",       // non-numeric rows
         ] {
             let script = MetadataScript { text: bad.to_string() };
             assert!(script.import().is_err(), "expected error for {bad:?}");

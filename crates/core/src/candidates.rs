@@ -175,11 +175,10 @@ fn generate_for_select(
     for bt in &sel.tables {
         let table = bt.table.as_str();
         let binding = bt.binding.as_str();
-        let interesting =
-            |cols: &[&str]| -> bool {
-                let set: BTreeSet<String> = cols.iter().map(|c| c.to_string()).collect();
-                groups.is_interesting(database, table, &set)
-            };
+        let interesting = |cols: &[&str]| -> bool {
+            let set: BTreeSet<String> = cols.iter().map(|c| c.to_string()).collect();
+            groups.is_interesting(database, table, &set)
+        };
 
         let sargs = sel.sargs_for(binding);
         let eq_cols: Vec<&str> = sargs
@@ -271,11 +270,8 @@ fn generate_for_select(
                     PhysicalStructure::Index(Index::non_clustered(database, table, seq, &[])),
                 );
                 // covering variant
-                let includes: Vec<&str> = referenced
-                    .iter()
-                    .map(String::as_str)
-                    .filter(|c| !seq.contains(c))
-                    .collect();
+                let includes: Vec<&str> =
+                    referenced.iter().map(String::as_str).filter(|c| !seq.contains(c)).collect();
                 if !includes.is_empty() && includes.len() <= 8 {
                     push_unique(
                         out,
@@ -376,8 +372,7 @@ fn view_candidate(sel: &BoundSelect) -> Option<MaterializedView> {
                 Some(e) => {
                     // canonical table-qualified argument text; views cannot
                     // capture what cannot be canonicalized
-                    let (text, cols) =
-                        dta_optimizer::query::canonical_agg_arg(sel, e)?;
+                    let (text, cols) = dta_optimizer::query::canonical_agg_arg(sel, e)?;
                     let arg_columns = cols
                         .iter()
                         .map(|bc| qc(&bc.binding, &bc.column))
@@ -387,13 +382,7 @@ fn view_candidate(sel: &BoundSelect) -> Option<MaterializedView> {
                 None => aggregates.push(ViewAggregate::count_star()),
             }
         }
-        Some(MaterializedView::grouped(
-            &sel.database,
-            &tables,
-            join_pairs,
-            group_by,
-            aggregates,
-        ))
+        Some(MaterializedView::grouped(&sel.database, &tables, join_pairs, group_by, aggregates))
     } else if tables.len() >= 2 {
         // join view projecting everything the query touches
         let mut projected = Vec::new();
@@ -411,91 +400,121 @@ fn view_candidate(sel: &BoundSelect) -> Option<MaterializedView> {
     }
 }
 
-/// Run candidate selection over all items.
+/// What per-query selection decided for one workload item.
+#[derive(Debug, Clone, Default)]
+struct ItemSelection {
+    generated: usize,
+    evaluations: usize,
+    chosen: Vec<PhysicalStructure>,
+    /// Benefit apportioned to each chosen structure.
+    benefit: f64,
+}
+
+/// Run candidate selection over all items, costing through the shared
+/// session-wide evaluator.
+///
+/// When `options.parallel_workers > 1` the items are chunked across
+/// worker threads; every thread prices through the same shared cache.
+/// Per-item outcomes are collected and the pool is assembled in workload
+/// order afterwards, so per-structure benefits accumulate in exactly the
+/// serial order — floating-point sums (and hence everything downstream
+/// that sorts on them) are bit-identical at any worker count.
 pub fn select_candidates(
-    target: &TuningTarget<'_>,
-    items: &[WorkloadItem],
+    eval: &CostEvaluator<'_>,
     base: &Configuration,
     groups: &ColumnGroups,
     options: &TuningOptions,
     stop: &(dyn Fn() -> bool + Sync),
 ) -> CandidatePool {
+    let items = eval.items();
+    let whatif_before = eval.whatif_calls();
     let workers = options.parallel_workers.max(1).min(items.len().max(1));
-    if workers <= 1 || items.len() < 8 {
-        return select_chunk(target, items, base, groups, options, stop);
-    }
-    let chunk = items.len().div_ceil(workers);
-    let mut pools: Vec<CandidatePool> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for part in items.chunks(chunk) {
-            handles.push(
-                scope.spawn(move |_| select_chunk(target, part, base, groups, options, stop)),
-            );
+    let selections: Vec<ItemSelection> = if workers <= 1 || items.len() < 8 {
+        select_chunk(eval, 0..items.len(), base, groups, options, stop)
+    } else {
+        let chunk = items.len().div_ceil(workers);
+        let mut parts: Vec<Vec<ItemSelection>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0;
+            while start < items.len() {
+                let end = (start + chunk).min(items.len());
+                handles
+                    .push(scope.spawn(move || {
+                        select_chunk(eval, start..end, base, groups, options, stop)
+                    }));
+                start = end;
+            }
+            for h in handles {
+                parts.push(h.join().expect("candidate selection worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    };
+
+    // assemble in workload order regardless of which thread did the work
+    let mut pool = CandidatePool::default();
+    for sel in selections {
+        pool.generated += sel.generated;
+        pool.evaluations += sel.evaluations;
+        for s in sel.chosen {
+            pool.add(s, sel.benefit);
         }
-        for h in handles {
-            pools.push(h.join().expect("candidate selection worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    let mut merged = CandidatePool::default();
-    for p in pools {
-        merged.merge(p);
     }
-    merged
+    pool.whatif_calls = eval.whatif_calls() - whatif_before;
+    pool
 }
 
 fn select_chunk(
-    target: &TuningTarget<'_>,
-    items: &[WorkloadItem],
+    eval: &CostEvaluator<'_>,
+    range: std::ops::Range<usize>,
     base: &Configuration,
     groups: &ColumnGroups,
     options: &TuningOptions,
     stop: &(dyn Fn() -> bool + Sync),
-) -> CandidatePool {
-    let eval = CostEvaluator::new(target, items);
-    let mut pool = CandidatePool::default();
-    for (i, item) in items.iter().enumerate() {
+) -> Vec<ItemSelection> {
+    let target = eval.target();
+    let items = eval.items();
+    let mut out: Vec<ItemSelection> = Vec::with_capacity(range.len());
+    for i in range {
         if stop() {
             break;
         }
+        let item = &items[i];
+        let mut sel = ItemSelection::default();
         let generated = generate_for_item(target, groups, options, item);
-        pool.generated += generated.len();
+        sel.generated = generated.len();
         if generated.is_empty() {
+            out.push(sel);
             continue;
         }
         let base_cost = match eval.item_cost(i, base) {
             Ok(c) => c,
-            Err(_) => continue,
+            Err(_) => {
+                out.push(sel);
+                continue;
+            }
         };
-        let mut eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
+        let eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
             let mut cfg = base.clone();
             for s in set {
                 cfg.add((*s).clone());
             }
             eval.item_cost(i, &cfg).ok()
         };
-        let mut stop_fn = || stop();
-        let outcome = greedy_mk(
-            &generated,
-            base_cost,
-            options.greedy_m,
-            options.greedy_k,
-            &mut eval_fn,
-            &mut stop_fn,
-        );
-        pool.evaluations += outcome.evaluations;
-        if outcome.chosen.is_empty() {
-            continue;
+        // each worker runs its items' greedy searches serially; the
+        // session-level fan-out is across items here
+        let outcome =
+            greedy_mk(&generated, base_cost, options.greedy_m, options.greedy_k, 1, &eval_fn, stop);
+        sel.evaluations = outcome.evaluations;
+        if !outcome.chosen.is_empty() {
+            sel.benefit =
+                (base_cost - outcome.cost).max(0.0) * item.weight / outcome.chosen.len() as f64;
+            sel.chosen = outcome.chosen;
         }
-        let benefit =
-            (base_cost - outcome.cost).max(0.0) * item.weight / outcome.chosen.len() as f64;
-        for s in outcome.chosen {
-            pool.add(s, benefit);
-        }
+        out.push(sel);
     }
-    pool.whatif_calls = eval.whatif_calls();
-    pool
+    out
 }
 
 #[cfg(test)]
@@ -534,9 +553,7 @@ mod tests {
             ]);
         }
         for i in 0..2_000i64 {
-            s.table_data_mut("d", "u")
-                .unwrap()
-                .push_row(vec![Value::Int(i % 500), Value::Int(i)]);
+            s.table_data_mut("d", "u").unwrap().push_row(vec![Value::Int(i % 500), Value::Int(i)]);
         }
         s
     }
@@ -568,7 +585,8 @@ mod tests {
 
         let g0 = generate_for_item(&target, &groups, &opts, &its[0]);
         assert!(
-            g0.iter().any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["a"])),
+            g0.iter()
+                .any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["a"])),
             "{g0:?}"
         );
         // covering variant includes pad
@@ -613,14 +631,8 @@ mod tests {
         let its = items();
         let groups = groups_for(&s, &its);
         let opts = TuningOptions { parallel_workers: 1, ..Default::default() };
-        let pool = select_candidates(
-            &target,
-            &its,
-            &Configuration::new(),
-            &groups,
-            &opts,
-            &(|| false),
-        );
+        let eval = CostEvaluator::new(&target, &its);
+        let pool = select_candidates(&eval, &Configuration::new(), &groups, &opts, &(|| false));
         assert!(!pool.candidates.is_empty());
         assert!(pool.evaluations > 0);
         for c in &pool.candidates {
@@ -628,10 +640,9 @@ mod tests {
             assert!(c.selected_by >= 1);
         }
         // the point query's index should be among the winners
-        assert!(pool
-            .candidates
-            .iter()
-            .any(|c| matches!(&c.structure, PhysicalStructure::Index(ix) if ix.key_columns[0] == "a")));
+        assert!(pool.candidates.iter().any(
+            |c| matches!(&c.structure, PhysicalStructure::Index(ix) if ix.key_columns[0] == "a")
+        ));
     }
 
     #[test]
@@ -644,39 +655,45 @@ mod tests {
             its.extend(items());
         }
         let groups = groups_for(&s, &its);
+        let eval_serial = CostEvaluator::new(&target, &its);
         let serial = select_candidates(
-            &target,
-            &its,
+            &eval_serial,
             &Configuration::new(),
             &groups,
             &TuningOptions { parallel_workers: 1, ..Default::default() },
             &(|| false),
         );
+        let eval_parallel = CostEvaluator::new(&target, &its);
         let parallel = select_candidates(
-            &target,
-            &its,
+            &eval_parallel,
             &Configuration::new(),
             &groups,
             &TuningOptions { parallel_workers: 4, ..Default::default() },
             &(|| false),
         );
-        let mut a: Vec<String> = serial.candidates.iter().map(|c| c.structure.name()).collect();
-        let mut b: Vec<String> = parallel.candidates.iter().map(|c| c.structure.name()).collect();
-        a.sort();
-        b.sort();
-        assert_eq!(a, b);
+        // not just the same structures: the same order, benefits (to the
+        // bit), selection counts, and cache-miss counts
+        assert_eq!(serial.candidates.len(), parallel.candidates.len());
+        for (a, b) in serial.candidates.iter().zip(&parallel.candidates) {
+            assert_eq!(a.structure, b.structure);
+            assert_eq!(a.benefit.to_bits(), b.benefit.to_bits(), "{}", a.structure.name());
+            assert_eq!(a.selected_by, b.selected_by);
+        }
+        assert_eq!(serial.generated, parallel.generated);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.whatif_calls, parallel.whatif_calls);
     }
 
     #[test]
     fn update_statements_yield_locator_indexes() {
         let s = server();
         let target = TuningTarget::Single(&s);
-        let item = WorkloadItem::new(
-            "d",
-            parse_statement("UPDATE t SET g = 1 WHERE b = 55").unwrap(),
-        );
+        let item =
+            WorkloadItem::new("d", parse_statement("UPDATE t SET g = 1 WHERE b = 55").unwrap());
         let groups = groups_for(&s, std::slice::from_ref(&item));
         let gs = generate_for_item(&target, &groups, &TuningOptions::default(), &item);
-        assert!(gs.iter().any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["b"])));
+        assert!(gs
+            .iter()
+            .any(|st| matches!(st, PhysicalStructure::Index(ix) if ix.key_columns == ["b"])));
     }
 }

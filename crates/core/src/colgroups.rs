@@ -134,9 +134,7 @@ pub fn interesting_column_groups(
         let w = items[i].weight * costs[i];
         for ((db, table), cols) in tables {
             for c in cols {
-                *group_cost
-                    .entry((db.clone(), table.clone(), vec![c.clone()]))
-                    .or_default() += w;
+                *group_cost.entry((db.clone(), table.clone(), vec![c.clone()])).or_default() += w;
             }
         }
     }

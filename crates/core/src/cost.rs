@@ -1,4 +1,5 @@
-//! Workload cost evaluation with per-statement caching.
+//! Workload cost evaluation with a shared, thread-safe per-statement
+//! cache.
 //!
 //! Every configuration DTA explores is priced as the weighted sum of
 //! optimizer-estimated statement costs (§2.2). Two optimizations keep
@@ -10,23 +11,52 @@
 //! 2. **Memoization** — the projected configuration is fingerprinted and
 //!    the (statement, fingerprint) → cost mapping cached, so greedy steps
 //!    that do not touch a statement's tables are free.
+//!
+//! The evaluator is `Send + Sync` so ONE instance (and therefore one
+//! cache) serves the whole tuning session — pre-cost estimation,
+//! parallel per-query candidate selection, and parallel enumeration all
+//! share hits. The cache is sharded by statement index
+//! (`RwLock<HashMap>` per statement), so concurrent lookups of different
+//! statements never contend and lookups of the same statement contend
+//! only on a reader-writer lock. Two threads racing on the same miss may
+//! both issue the what-if call; the cost model is deterministic, so they
+//! insert the same value and the race is benign.
+//!
+//! Fingerprints are computed without allocating: each relevant structure
+//! is hashed independently and the per-structure hashes are combined
+//! with order-independent arithmetic, so the hot path (a cache hit)
+//! touches no heap. The projected [`Configuration`] is only materialized
+//! on a miss, where the what-if call dwarfs it.
 
 use dta_physical::{Configuration, PhysicalStructure};
 use dta_server::{ServerError, TuningTarget};
 use dta_workload::WorkloadItem;
-use std::cell::{Cell, RefCell};
+use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A memoized what-if result for one (statement, projected config) pair.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    cost: f64,
+    /// Names of the structures the plan uses (for §6.3 reports).
+    used_structures: Vec<String>,
+}
 
 /// Caching cost evaluator over one tuning target and workload.
+///
+/// `Send + Sync`: share a single instance across every phase of the
+/// session and across worker threads.
 pub struct CostEvaluator<'a> {
     target: &'a TuningTarget<'a>,
     items: &'a [WorkloadItem],
     /// Tables each item references: (database, table) pairs.
     item_tables: Vec<Vec<(String, String)>>,
-    cache: RefCell<Vec<HashMap<u64, f64>>>,
-    whatif_calls: Cell<usize>,
+    /// One cache shard per statement.
+    shards: Vec<RwLock<HashMap<u64, CacheEntry>>>,
+    whatif_calls: AtomicUsize,
 }
 
 impl<'a> CostEvaluator<'a> {
@@ -50,8 +80,8 @@ impl<'a> CostEvaluator<'a> {
             target,
             items,
             item_tables,
-            cache: RefCell::new(vec![HashMap::new(); items.len()]),
-            whatif_calls: Cell::new(0),
+            shards: (0..items.len()).map(|_| RwLock::new(HashMap::new())).collect(),
+            whatif_calls: AtomicUsize::new(0),
         }
     }
 
@@ -67,53 +97,101 @@ impl<'a> CostEvaluator<'a> {
 
     /// What-if calls actually issued (cache misses).
     pub fn whatif_calls(&self) -> usize {
-        self.whatif_calls.get()
+        self.whatif_calls.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached cost (the call counter is kept).
+    ///
+    /// Needed when the cost model itself changes mid-session — e.g.
+    /// after statistics creation, which alters what-if estimates.
+    pub fn invalidate(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Whether `s` can affect item `i`'s plan.
+    fn is_relevant(&self, i: usize, s: &PhysicalStructure) -> bool {
+        let tables = &self.item_tables[i];
+        let db = &self.items[i].database;
+        match s {
+            PhysicalStructure::Index(ix) => {
+                tables.iter().any(|(d, t)| *d == ix.database && *t == ix.table)
+            }
+            PhysicalStructure::View(v) => {
+                v.database == *db && v.tables.iter().any(|vt| tables.iter().any(|(_, t)| t == vt))
+            }
+            PhysicalStructure::TablePartitioning { database, table, .. } => {
+                tables.iter().any(|(d, t)| d == database && t == table)
+            }
+        }
     }
 
     /// Structures of `config` that can affect item `i`.
-    fn relevant(&self, i: usize, config: &Configuration) -> Configuration {
-        let tables = &self.item_tables[i];
-        let db = &self.items[i].database;
-        config
-            .iter()
-            .filter(|s| match s {
-                PhysicalStructure::Index(ix) => tables
-                    .iter()
-                    .any(|(d, t)| *d == ix.database && *t == ix.table),
-                PhysicalStructure::View(v) => {
-                    v.database == *db && v.tables.iter().any(|vt| tables.iter().any(|(_, t)| t == vt))
-                }
-                PhysicalStructure::TablePartitioning { database, table, .. } => {
-                    tables.iter().any(|(d, t)| d == database && t == table)
-                }
-            })
-            .cloned()
-            .collect()
+    fn project(&self, i: usize, config: &Configuration) -> Configuration {
+        config.iter().filter(|s| self.is_relevant(i, s)).cloned().collect()
     }
 
-    fn fingerprint(config: &Configuration) -> u64 {
-        let mut names: Vec<String> = config.iter().map(|s| s.name()).collect();
-        names.sort();
+    /// Order-independent fingerprint of `config` projected onto item `i`,
+    /// computed without allocating.
+    fn fingerprint(&self, i: usize, config: &Configuration) -> u64 {
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        let mut count = 0u64;
+        for s in config.iter().filter(|s| self.is_relevant(i, s)) {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            let v = h.finish();
+            sum = sum.wrapping_add(v);
+            xor ^= v;
+            count += 1;
+        }
         let mut h = DefaultHasher::new();
-        names.hash(&mut h);
+        (sum, xor, count).hash(&mut h);
         h.finish()
+    }
+
+    /// Price item `i` under `config`, returning the full cache entry.
+    fn item_entry(
+        &self,
+        i: usize,
+        config: &Configuration,
+        want_structures: bool,
+    ) -> Result<(f64, Vec<String>), ServerError> {
+        let fp = self.fingerprint(i, config);
+        if let Some(e) = self.shards[i].read().get(&fp) {
+            let used = if want_structures { e.used_structures.clone() } else { Vec::new() };
+            return Ok((e.cost, used));
+        }
+        let relevant = self.project(i, config);
+        let item = &self.items[i];
+        self.whatif_calls.fetch_add(1, Ordering::Relaxed);
+        let plan = self.target.whatif(&item.database, &item.statement, &relevant)?;
+        let cost = plan.cost;
+        let used_structures = plan.used_structures();
+        let used = if want_structures { used_structures.clone() } else { Vec::new() };
+        self.shards[i].write().insert(fp, CacheEntry { cost, used_structures });
+        Ok((cost, used))
     }
 
     /// Estimated cost of one item under `config`.
     pub fn item_cost(&self, i: usize, config: &Configuration) -> Result<f64, ServerError> {
-        let relevant = self.relevant(i, config);
-        let fp = Self::fingerprint(&relevant);
-        if let Some(c) = self.cache.borrow()[i].get(&fp) {
-            return Ok(*c);
-        }
-        let item = &self.items[i];
-        self.whatif_calls.set(self.whatif_calls.get() + 1);
-        let plan = self.target.whatif(&item.database, &item.statement, &relevant)?;
-        self.cache.borrow_mut()[i].insert(fp, plan.cost);
-        Ok(plan.cost)
+        self.item_entry(i, config, false).map(|(c, _)| c)
+    }
+
+    /// Cost plus the structures the plan uses (§6.3 reports).
+    pub fn item_report(
+        &self,
+        i: usize,
+        config: &Configuration,
+    ) -> Result<(f64, Vec<String>), ServerError> {
+        self.item_entry(i, config, true)
     }
 
     /// Weighted workload cost under `config`.
+    ///
+    /// Items are summed in workload order, so the result is bitwise
+    /// identical no matter which thread asks.
     pub fn workload_cost(&self, config: &Configuration) -> Result<f64, ServerError> {
         let mut total = 0.0;
         for i in 0..self.items.len() {
@@ -172,7 +250,10 @@ mod tests {
                 parse_statement("SELECT b FROM t WHERE a = 5").unwrap(),
                 10.0,
             ),
-            dta_workload::WorkloadItem::new("d", parse_statement("SELECT b FROM u WHERE a = 7").unwrap()),
+            dta_workload::WorkloadItem::new(
+                "d",
+                parse_statement("SELECT b FROM u WHERE a = 7").unwrap(),
+            ),
         ])
     }
 
@@ -199,9 +280,12 @@ mod tests {
         eval.workload_cost(&Configuration::new()).unwrap();
         let calls = eval.whatif_calls();
         // an index on `u` cannot affect the statement on `t`
-        let cfg = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("d", "u", &["a"], &["b"]),
-        )]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "d",
+            "u",
+            &["a"],
+            &["b"],
+        ))]);
         eval.item_cost(0, &cfg).unwrap();
         assert_eq!(eval.whatif_calls(), calls, "projection made it a cache hit");
         eval.item_cost(1, &cfg).unwrap();
@@ -239,10 +323,86 @@ mod tests {
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
         let before = eval.item_cost(0, &Configuration::new()).unwrap();
-        let cfg = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("d", "t", &["a"], &["b"]),
-        )]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "d",
+            "t",
+            &["a"],
+            &["b"],
+        ))]);
         let after = eval.item_cost(0, &cfg).unwrap();
         assert!(after < before);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let a = PhysicalStructure::Index(Index::non_clustered("d", "t", &["a"], &[]));
+        let b = PhysicalStructure::Index(Index::non_clustered("d", "t", &["b"], &[]));
+        let ab = Configuration::from_structures([a.clone(), b.clone()]);
+        let ba = Configuration::from_structures([b.clone(), a.clone()]);
+        assert_eq!(eval.fingerprint(0, &ab), eval.fingerprint(0, &ba));
+        let only_a = Configuration::from_structures([a]);
+        assert_ne!(eval.fingerprint(0, &ab), eval.fingerprint(0, &only_a));
+    }
+
+    #[test]
+    fn invalidate_clears_cached_costs() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        eval.workload_cost(&Configuration::new()).unwrap();
+        assert_eq!(eval.whatif_calls(), 2);
+        eval.invalidate();
+        eval.workload_cost(&Configuration::new()).unwrap();
+        assert_eq!(eval.whatif_calls(), 4, "cache was dropped, calls re-issued");
+    }
+
+    #[test]
+    fn item_report_returns_used_structures() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let ix = Index::non_clustered("d", "t", &["a"], &["b"]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(ix.clone())]);
+        let (_, used) = eval.item_report(0, &cfg).unwrap();
+        assert!(used.contains(&ix.name()), "{used:?}");
+        // and the cached path returns them too
+        let (_, used_again) = eval.item_report(0, &cfg).unwrap();
+        assert_eq!(used, used_again);
+    }
+
+    #[test]
+    fn evaluator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostEvaluator<'static>>();
+        assert_send_sync::<TuningTarget<'static>>();
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "d",
+            "t",
+            &["a"],
+            &["b"],
+        ))]);
+        let serial = eval.workload_cost(&cfg).unwrap();
+        let results: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..4).map(|_| scope.spawn(|| eval.workload_cost(&cfg).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r.to_bits(), serial.to_bits());
+        }
     }
 }

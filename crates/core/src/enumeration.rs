@@ -15,8 +15,8 @@ use crate::cost::CostEvaluator;
 use crate::greedy::greedy_mk;
 use crate::options::{AlignmentMode, TuningOptions};
 use dta_physical::{Configuration, PhysicalStructure, RangePartitioning, SizingInfo};
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The outcome of enumeration.
 #[derive(Debug, Clone)]
@@ -55,8 +55,7 @@ pub fn align_configuration(config: &Configuration) -> (Configuration, usize) {
             ci.partitioning.clone()
         } else if let Some(p) = config.table_partitioning(&db, &t) {
             Some(p.clone())
-        } else if let Some(p) = config.indexes_on(&db, &t).find_map(|ix| ix.partitioning.clone())
-        {
+        } else if let Some(p) = config.indexes_on(&db, &t).find_map(|ix| ix.partitioning.clone()) {
             // the heap itself must adopt this partitioning for the table
             // to count as aligned — a lazily introduced structure
             add_heap_partitioning.push((db.clone(), t.clone(), p.clone()));
@@ -72,10 +71,7 @@ pub fn align_configuration(config: &Configuration) -> (Configuration, usize) {
     for s in config.iter() {
         match s {
             PhysicalStructure::Index(ix) => {
-                let want = target
-                    .get(&(ix.database.clone(), ix.table.clone()))
-                    .cloned()
-                    .flatten();
+                let want = target.get(&(ix.database.clone(), ix.table.clone())).cloned().flatten();
                 if ix.partitioning != want {
                     let mut v = ix.clone();
                     v.partitioning = want;
@@ -156,6 +152,10 @@ pub fn eager_alignment_expansion(pool: &[PhysicalStructure]) -> Vec<PhysicalStru
 }
 
 /// Run enumeration.
+///
+/// Greedy evaluations fan out over `options.parallel_workers` threads
+/// through the shared evaluator; results are identical at any worker
+/// count (see [`crate::greedy`]).
 #[allow(clippy::too_many_arguments)]
 pub fn enumerate(
     eval: &CostEvaluator<'_>,
@@ -163,7 +163,7 @@ pub fn enumerate(
     pool: &[Candidate],
     sizing: &dyn SizingInfo,
     options: &TuningOptions,
-    stop: &mut dyn FnMut() -> bool,
+    stop: &(dyn Fn() -> bool + Sync),
 ) -> EnumerationResult {
     // order candidates by observed benefit (helps greedy find good seeds
     // early when the time budget cuts the search short)
@@ -177,7 +177,7 @@ pub fn enumerate(
     }
 
     let base_bytes = base.total_bytes(sizing);
-    let lazy_variants = Cell::new(0usize);
+    let lazy_variants = AtomicUsize::new(0);
 
     let assemble = |set: &[&PhysicalStructure]| -> Option<Configuration> {
         let mut cfg = base.clone();
@@ -186,7 +186,7 @@ pub fn enumerate(
         }
         if options.alignment.required() {
             let (aligned, n) = align_configuration(&cfg);
-            lazy_variants.set(lazy_variants.get() + n);
+            lazy_variants.fetch_add(n, Ordering::Relaxed);
             cfg = aligned;
         }
         // structural feasibility: at most one clustering/partitioning per
@@ -228,12 +228,20 @@ pub fn enumerate(
     };
 
     let base_cost = eval.workload_cost(base).unwrap_or(f64::INFINITY);
-    let mut eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
+    let eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
         let cfg = assemble(set)?;
         eval.workload_cost(&cfg).ok()
     };
     let k = structures.len();
-    let outcome = greedy_mk(&structures, base_cost, options.greedy_m, k, &mut eval_fn, stop);
+    let outcome = greedy_mk(
+        &structures,
+        base_cost,
+        options.greedy_m,
+        k,
+        options.parallel_workers,
+        &eval_fn,
+        stop,
+    );
 
     let final_refs: Vec<&PhysicalStructure> = outcome.chosen.iter().collect();
     let configuration = assemble(&final_refs).unwrap_or_else(|| base.clone());
@@ -242,7 +250,7 @@ pub fn enumerate(
         cost: outcome.cost,
         evaluations: outcome.evaluations,
         pool_size: structures.len(),
-        lazy_variants: lazy_variants.get(),
+        lazy_variants: lazy_variants.load(Ordering::Relaxed),
     }
 }
 
@@ -265,7 +273,9 @@ mod tests {
                 scheme: part("x"),
             },
             PhysicalStructure::Index(Index::non_clustered("d", "t", &["a"], &[])),
-            PhysicalStructure::Index(Index::non_clustered("d", "t", &["b"], &[]).partitioned(part("y"))),
+            PhysicalStructure::Index(
+                Index::non_clustered("d", "t", &["b"], &[]).partitioned(part("y")),
+            ),
         ]);
         assert!(!cfg.is_aligned());
         let (aligned, rewritten) = align_configuration(&cfg);

@@ -6,10 +6,27 @@
 //! time up to `k` total. The guarantee: optimal for answer sizes ≤ m, and
 //! in practice very close to optimal beyond because the seed avoids the
 //! classic greedy trap of a locally-good-but-globally-poor first pick.
+//!
+//! Both phases are embarrassingly parallel — Phase 1's subsets are
+//! independent, and within one Phase-2 round every extension of the
+//! incumbent is independent — so both fan out across `workers` threads.
+//! Determinism is preserved by construction: work is generated in one
+//! canonical order (subsets size-ascending then lexicographic; round
+//! extensions by candidate index) and the winner of each reduction is the
+//! minimum by `(cost, position)`, so the earliest-generated entrant wins
+//! cost ties exactly as a serial left-to-right scan would. Parallel and
+//! serial runs therefore return bit-identical outcomes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluate a subset. `None` means the subset is infeasible (e.g. over
 /// the storage bound); otherwise the value is a cost (lower = better).
-pub type EvalFn<'e, S> = dyn FnMut(&[&S]) -> Option<f64> + 'e;
+///
+/// `Sync` because evaluations fan out across worker threads.
+pub type EvalFn<'e, S> = dyn Fn(&[&S]) -> Option<f64> + Sync + 'e;
+
+/// Polled between evaluations for time-bound tuning.
+pub type StopFn<'e> = dyn Fn() -> bool + Sync + 'e;
 
 /// Result of a Greedy(m, k) run.
 #[derive(Debug, Clone)]
@@ -22,97 +39,170 @@ pub struct GreedyOutcome<S> {
     pub evaluations: usize,
 }
 
-/// Run Greedy(m, k) over `candidates`.
+/// Find the minimum of `f` over `0..n` by `(cost, position)`.
+///
+/// Positions where `f` returns `None` (infeasible) are skipped. `stop`
+/// is polled before each evaluation; on a stop, remaining positions are
+/// abandoned (each worker stops where it is). Position tie-breaking makes
+/// the reduction independent of thread count and interleaving: the result
+/// for a completed run is identical for any `workers`.
+fn par_min(
+    n: usize,
+    workers: usize,
+    evaluations: &AtomicUsize,
+    stop: &StopFn<'_>,
+    f: &(dyn Fn(usize) -> Option<f64> + Sync),
+) -> Option<(usize, f64)> {
+    let better = |a: (usize, f64), b: Option<(usize, f64)>| -> Option<(usize, f64)> {
+        match b {
+            None => Some(a),
+            Some(b) => {
+                if a.1 < b.1 || (a.1 == b.1 && a.0 < b.0) {
+                    Some(a)
+                } else {
+                    Some(b)
+                }
+            }
+        }
+    };
+    let scan = |positions: &mut dyn Iterator<Item = usize>| -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for pos in positions {
+            if stop() {
+                break;
+            }
+            evaluations.fetch_add(1, Ordering::Relaxed);
+            if let Some(cost) = f(pos) {
+                best = better((pos, cost), best);
+            }
+        }
+        best
+    };
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return scan(&mut (0..n));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move || scan(&mut ((w..n).step_by(workers)))))
+            .collect();
+        let mut best: Option<(usize, f64)> = None;
+        for h in handles {
+            if let Some(local) = h.join().expect("greedy worker panicked") {
+                best = better(local, best);
+            }
+        }
+        best
+    })
+}
+
+/// All index subsets of `0..n` with size 1..=m, size-ascending and
+/// lexicographic within each size — the canonical evaluation order.
+fn subsets_up_to(n: usize, m: usize) -> Vec<Vec<usize>> {
+    fn extend(n: usize, size: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == size {
+            out.push(cur.clone());
+            return;
+        }
+        let start = cur.last().map_or(0, |&l| l + 1);
+        for i in start..n {
+            cur.push(i);
+            extend(n, size, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    for size in 1..=m.min(n) {
+        extend(n, size, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+/// Run Greedy(m, k) over `candidates`, fanning evaluations out over
+/// `workers` threads (1 = fully serial, same result either way).
 ///
 /// `base_cost` is the cost of the empty selection; a subset is only ever
 /// adopted if it strictly improves on the incumbent. `stop` is polled
 /// between evaluations for time-bound tuning.
-pub fn greedy_mk<S: Clone>(
+pub fn greedy_mk<S: Clone + Sync>(
     candidates: &[S],
     base_cost: f64,
     m: usize,
     k: usize,
-    eval: &mut EvalFn<'_, S>,
-    stop: &mut dyn FnMut() -> bool,
+    workers: usize,
+    eval: &EvalFn<'_, S>,
+    stop: &StopFn<'_>,
 ) -> GreedyOutcome<S> {
-    let mut evaluations = 0usize;
+    let evaluations = AtomicUsize::new(0);
     let mut best_set: Vec<usize> = Vec::new();
     let mut best_cost = base_cost;
+    let outcome = |best_set: &[usize], best_cost: f64| GreedyOutcome {
+        chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
+        cost: best_cost,
+        evaluations: evaluations.load(Ordering::Relaxed),
+    };
 
     // Phase 1: exhaustive over subsets of size 1..=m.
-    let m = m.min(candidates.len());
-    let mut stack: Vec<Vec<usize>> = (0..candidates.len()).map(|i| vec![i]).collect();
-    while let Some(set) = stack.pop() {
-        if stop() {
-            return GreedyOutcome {
-                chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
-                cost: best_cost,
-                evaluations,
-            };
-        }
-        let refs: Vec<&S> = set.iter().map(|&i| &candidates[i]).collect();
-        evaluations += 1;
-        if let Some(cost) = eval(&refs) {
-            if cost < best_cost {
-                best_cost = cost;
-                best_set = set.clone();
-            }
-        }
-        if set.len() < m {
-            let last = *set.last().expect("non-empty subset");
-            for next in (last + 1)..candidates.len() {
-                let mut bigger = set.clone();
-                bigger.push(next);
-                stack.push(bigger);
-            }
+    let subsets = subsets_up_to(candidates.len(), m);
+    let eval_subset = |pos: usize| -> Option<f64> {
+        let refs: Vec<&S> = subsets[pos].iter().map(|&i| &candidates[i]).collect();
+        eval(&refs)
+    };
+    if let Some((pos, cost)) = par_min(subsets.len(), workers, &evaluations, stop, &eval_subset) {
+        if cost < best_cost {
+            best_cost = cost;
+            best_set = subsets[pos].clone();
         }
     }
+    if stop() {
+        return outcome(&best_set, best_cost);
+    }
 
-    // Phase 2: greedy extension up to k.
+    // Phase 2: greedy extension up to k, one winner per round.
     while best_set.len() < k.max(m) {
         if stop() {
             break;
         }
-        let mut round_best: Option<(usize, f64)> = None;
-        for i in 0..candidates.len() {
-            if best_set.contains(&i) {
-                continue;
-            }
-            if stop() {
-                break;
-            }
-            let mut set = best_set.clone();
-            set.push(i);
-            let refs: Vec<&S> = set.iter().map(|&j| &candidates[j]).collect();
-            evaluations += 1;
-            if let Some(cost) = eval(&refs) {
-                if cost < round_best.map_or(best_cost, |(_, c)| c) {
-                    round_best = Some((i, cost));
-                }
-            }
+        let remaining: Vec<usize> =
+            (0..candidates.len()).filter(|i| !best_set.contains(i)).collect();
+        if remaining.is_empty() {
+            break;
         }
-        match round_best {
-            Some((i, cost)) => {
-                best_set.push(i);
+        let incumbent = &best_set;
+        let eval_extension = |pos: usize| -> Option<f64> {
+            let mut set = incumbent.clone();
+            set.push(remaining[pos]);
+            let refs: Vec<&S> = set.iter().map(|&j| &candidates[j]).collect();
+            eval(&refs)
+        };
+        match par_min(remaining.len(), workers, &evaluations, stop, &eval_extension) {
+            Some((pos, cost)) if cost < best_cost => {
+                best_set.push(remaining[pos]);
                 best_cost = cost;
             }
-            None => break, // no further improvement
+            _ => break, // no further improvement
         }
     }
 
-    GreedyOutcome {
-        chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
-        cost: best_cost,
-        evaluations,
-    }
+    outcome(&best_set, best_cost)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn no_stop() -> impl FnMut() -> bool {
+    fn no_stop() -> impl Fn() -> bool + Sync {
         || false
+    }
+
+    #[test]
+    fn canonical_subset_order() {
+        assert_eq!(
+            subsets_up_to(3, 2),
+            vec![vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2],]
+        );
+        assert!(subsets_up_to(0, 2).is_empty());
+        assert_eq!(subsets_up_to(2, 5).len(), 3, "m is clamped to n");
     }
 
     #[test]
@@ -134,8 +224,8 @@ mod tests {
             })
         };
 
-        let g1 = greedy_mk(&candidates, 100.0, 1, 3, &mut { cost }, &mut no_stop());
-        let g2 = greedy_mk(&candidates, 100.0, 2, 3, &mut { cost }, &mut no_stop());
+        let g1 = greedy_mk(&candidates, 100.0, 1, 3, 1, &cost, &no_stop());
+        let g2 = greedy_mk(&candidates, 100.0, 2, 3, 1, &cost, &no_stop());
         assert!(g1.cost > g2.cost, "g1={} g2={}", g1.cost, g2.cost);
         assert_eq!(g2.cost, 10.0);
         let mut chosen = g2.chosen.clone();
@@ -147,8 +237,8 @@ mod tests {
     fn greedy_extension_beyond_m() {
         // additive benefits: every item shaves 10 off
         let candidates: Vec<usize> = (0..6).collect();
-        let mut eval = |set: &[&usize]| Some(100.0 - 10.0 * set.len() as f64);
-        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut no_stop());
+        let eval = |set: &[&usize]| Some(100.0 - 10.0 * set.len() as f64);
+        let g = greedy_mk(&candidates, 100.0, 2, 4, 1, &eval, &no_stop());
         assert_eq!(g.chosen.len(), 4);
         assert_eq!(g.cost, 60.0);
     }
@@ -156,14 +246,14 @@ mod tests {
     #[test]
     fn stops_when_no_improvement() {
         let candidates = ["x", "y"];
-        let mut eval = |set: &[&&str]| {
+        let eval = |set: &[&&str]| {
             if set.len() == 1 && **set[0] == *"x" {
                 Some(90.0)
             } else {
                 Some(95.0)
             }
         };
-        let g = greedy_mk(&candidates, 100.0, 1, 5, &mut eval, &mut no_stop());
+        let g = greedy_mk(&candidates, 100.0, 1, 5, 1, &eval, &no_stop());
         assert_eq!(g.chosen, vec!["x"]);
         assert_eq!(g.cost, 90.0);
     }
@@ -172,22 +262,22 @@ mod tests {
     fn infeasible_subsets_skipped() {
         // "y" is infeasible (over storage); the best feasible is "x"
         let candidates = ["x", "y"];
-        let mut eval = |set: &[&&str]| {
+        let eval = |set: &[&&str]| {
             if set.iter().any(|s| ***s == *"y") {
                 None
             } else {
                 Some(50.0)
             }
         };
-        let g = greedy_mk(&candidates, 100.0, 2, 2, &mut eval, &mut no_stop());
+        let g = greedy_mk(&candidates, 100.0, 2, 2, 1, &eval, &no_stop());
         assert_eq!(g.chosen, vec!["x"]);
     }
 
     #[test]
     fn empty_candidates() {
         let candidates: Vec<&str> = vec![];
-        let mut eval = |_: &[&&str]| Some(1.0);
-        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut no_stop());
+        let eval = |_: &[&&str]| Some(1.0);
+        let g = greedy_mk(&candidates, 100.0, 2, 4, 1, &eval, &no_stop());
         assert!(g.chosen.is_empty());
         assert_eq!(g.cost, 100.0);
         assert_eq!(g.evaluations, 0);
@@ -196,25 +286,38 @@ mod tests {
     #[test]
     fn stop_cuts_search_short() {
         let candidates: Vec<usize> = (0..100).collect();
-        let mut calls = 0;
-        let mut eval = |_: &[&usize]| {
-            calls += 1;
-            Some(100.0)
-        };
-        let mut n = 0;
-        let mut stop = move || {
-            n += 1;
-            n > 5
-        };
-        let g = greedy_mk(&candidates, 100.0, 2, 4, &mut eval, &mut stop);
-        assert!(g.evaluations <= 6);
+        let eval = |_: &[&usize]| Some(100.0);
+        let n = AtomicUsize::new(0);
+        let stop = || n.fetch_add(1, Ordering::Relaxed) + 1 > 5;
+        let g = greedy_mk(&candidates, 100.0, 2, 4, 1, &eval, &stop);
+        assert!(g.evaluations <= 6, "evaluations={}", g.evaluations);
     }
 
     #[test]
     fn never_adopts_non_improving_set() {
         let candidates = ["a"];
-        let mut eval = |_: &[&&str]| Some(100.0); // equal, not better
-        let g = greedy_mk(&candidates, 100.0, 1, 1, &mut eval, &mut no_stop());
+        let eval = |_: &[&&str]| Some(100.0); // equal, not better
+        let g = greedy_mk(&candidates, 100.0, 1, 1, 1, &eval, &no_stop());
         assert!(g.chosen.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        // a lumpy deterministic cost surface with deliberate ties: subsets
+        // {1} and {2} tie, and several pairs tie — position tie-breaking
+        // must pick the same winner at any worker count
+        let candidates: Vec<usize> = (0..12).collect();
+        let eval = |set: &[&usize]| {
+            let s: usize = set.iter().map(|&&i| i).sum();
+            let n = set.len();
+            Some(1000.0 - (17 * s % 101) as f64 - 31.0 * n as f64)
+        };
+        let serial = greedy_mk(&candidates, 1000.0, 2, 6, 1, &eval, &no_stop());
+        for workers in [2, 4, 7] {
+            let parallel = greedy_mk(&candidates, 1000.0, 2, 6, workers, &eval, &no_stop());
+            assert_eq!(serial.chosen, parallel.chosen, "workers={workers}");
+            assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits(), "workers={workers}");
+            assert_eq!(serial.evaluations, parallel.evaluations, "workers={workers}");
+        }
     }
 }

@@ -86,7 +86,9 @@ pub struct TuningOptions {
     pub greedy_k: usize,
     /// Cap on candidate structures generated per query.
     pub max_candidates_per_query: usize,
-    /// Parallelize candidate selection across worker threads.
+    /// Worker threads for candidate selection and enumeration. `1`
+    /// disables threading; any value produces byte-identical
+    /// recommendations (see DESIGN.md, "Concurrency architecture").
     pub parallel_workers: usize,
 }
 

@@ -84,13 +84,16 @@ pub fn tune(
     };
     let items = &tuned_workload.items;
 
+    // ONE shared, thread-safe evaluator serves the whole session:
+    // pre-cost estimation, candidate selection, and enumeration all hit
+    // the same cache, and its miss counter is the session's what-if tally
+    let eval = CostEvaluator::new(target, items);
+
     // preliminary base costs (pre-statistics) for column-group weighting
-    let pre_eval = CostEvaluator::new(target, items);
     let mut pre_costs = Vec::with_capacity(items.len());
     for i in 0..items.len() {
-        pre_costs.push(pre_eval.item_cost(i, &base).map_err(TuneError::Server)?);
+        pre_costs.push(eval.item_cost(i, &base).map_err(TuneError::Server)?);
     }
-    let pre_whatif = pre_eval.whatif_calls();
 
     // §2.2 column-group restriction
     let groups = interesting_column_groups(
@@ -116,6 +119,11 @@ pub fn tune(
         }
     }
     let stats_report = target.ensure_statistics(&required, options.reduce_statistics);
+    if stats_report.created > 0 {
+        // new statistics change what-if estimates; pre-statistics cached
+        // costs are stale and must not leak into the search
+        eval.invalidate();
+    }
 
     // time-bound tuning: stop when the what-if server has spent the budget
     let budget = options.time_budget_units;
@@ -125,24 +133,15 @@ pub fn tune(
     };
 
     // §2.2 candidate selection (per query, possibly parallel)
-    let mut pool = select_candidates(target, items, &base, &groups, options, &stop);
+    let mut pool = select_candidates(&eval, &base, &groups, options, &stop);
 
     // §2.2 merging
     merge_candidates(&mut pool);
     let candidates_selected = pool.candidates.len();
 
-    // §2.2/§4 enumeration
-    let eval = CostEvaluator::new(target, items);
+    // §2.2/§4 enumeration — shares the selection phase's cache
     let base_cost = eval.workload_cost(&base).map_err(TuneError::Server)?;
-    let mut stop_mut = stop;
-    let enumeration = enumerate(
-        &eval,
-        &base,
-        &pool.candidates,
-        whatif_server,
-        options,
-        &mut stop_mut,
-    );
+    let enumeration = enumerate(&eval, &base, &pool.candidates, whatif_server, options, &stop);
 
     let storage_bytes = enumeration
         .configuration
@@ -156,7 +155,7 @@ pub fn tune(
         statements_tuned: items.len(),
         total_statements: workload.len(),
         total_events: workload.total_events(),
-        whatif_calls: pre_whatif + pool.whatif_calls + eval.whatif_calls(),
+        whatif_calls: eval.whatif_calls(),
         evaluations: pool.evaluations + enumeration.evaluations,
         candidates_generated: pool.generated,
         candidates_selected,
@@ -172,27 +171,33 @@ pub fn tune(
 
 /// §6.3 exploratory analysis: evaluate a user-proposed configuration for
 /// a workload against the current one, without any search.
+///
+/// Prices through a [`CostEvaluator`], so a statement whose referenced
+/// tables the two configurations cover identically (e.g. the proposal
+/// adds nothing relevant to it) is costed once, not twice — the raw
+/// two-calls-per-statement path this replaces had no such reuse.
 pub fn evaluate_configuration(
     target: &TuningTarget<'_>,
     workload: &Workload,
     current: &Configuration,
     proposed: &Configuration,
 ) -> Result<EvaluationReport, ServerError> {
+    let eval = CostEvaluator::new(target, &workload.items);
     let mut statements = Vec::with_capacity(workload.len());
     let mut current_total = 0.0;
     let mut proposed_total = 0.0;
-    for item in &workload.items {
-        let cur = target.whatif(&item.database, &item.statement, current)?;
-        let prop = target.whatif(&item.database, &item.statement, proposed)?;
-        current_total += item.weight * cur.cost;
-        proposed_total += item.weight * prop.cost;
+    for (i, item) in workload.items.iter().enumerate() {
+        let (current_cost, _) = eval.item_report(i, current)?;
+        let (proposed_cost, used_structures) = eval.item_report(i, proposed)?;
+        current_total += item.weight * current_cost;
+        proposed_total += item.weight * proposed_cost;
         statements.push(StatementReport {
             database: item.database.clone(),
             sql: item.statement.to_string(),
             weight: item.weight,
-            current_cost: cur.cost,
-            proposed_cost: prop.cost,
-            used_structures: prop.used_structures(),
+            current_cost,
+            proposed_cost,
+            used_structures,
         });
     }
     Ok(EvaluationReport { statements, current_total, proposed_total })

@@ -29,10 +29,7 @@ fn make_server() -> Server {
     db.add_table(
         Table::new(
             "dim",
-            vec![
-                Column::new("dk", ColumnType::Int),
-                Column::new("dname", ColumnType::Str(20)),
-            ],
+            vec![Column::new("dk", ColumnType::Int), Column::new("dname", ColumnType::Str(20))],
         )
         .with_primary_key(&["dk"]),
     )
@@ -109,10 +106,7 @@ fn tuning_improves_read_workload() {
     let base = server.raw_configuration();
     let full_base = workload_cost(&target, &workload, &base).unwrap();
     let full_rec = workload_cost(&target, &workload, &result.recommendation).unwrap();
-    assert!(
-        full_rec < full_base * 0.6,
-        "full-workload check: {full_rec} !< 0.6 * {full_base}"
-    );
+    assert!(full_rec < full_base * 0.6, "full-workload check: {full_rec} !< 0.6 * {full_base}");
 }
 
 #[test]
@@ -148,12 +142,8 @@ fn update_heavy_workload_gets_no_new_structures() {
     for i in 0..80 {
         items.push(WorkloadItem::new(
             "d",
-            parse_statement(&format!(
-                "UPDATE fact SET val = {} WHERE k = {}",
-                i,
-                i * 31 % 60_000
-            ))
-            .unwrap(),
+            parse_statement(&format!("UPDATE fact SET val = {} WHERE k = {}", i, i * 31 % 60_000))
+                .unwrap(),
         ));
     }
     // a couple of cheap PK lookups
@@ -161,12 +151,9 @@ fn update_heavy_workload_gets_no_new_structures() {
         items.push(sel(&format!("SELECT val FROM fact WHERE k = {}", i * 7)));
     }
     let workload = Workload::from_items(items);
-    let result = tune(
-        &target,
-        &workload,
-        &TuningOptions { parallel_workers: 1, ..Default::default() },
-    )
-    .unwrap();
+    let result =
+        tune(&target, &workload, &TuningOptions { parallel_workers: 1, ..Default::default() })
+            .unwrap();
     let added = result.recommendation.difference(&server.raw_configuration()).len();
     assert_eq!(added, 0, "expected no new structures:\n{}", result.recommendation);
 }
@@ -217,11 +204,8 @@ fn alignment_produces_aligned_recommendation() {
     let server = make_server();
     let target = TuningTarget::Single(&server);
     let workload = read_workload();
-    let options = TuningOptions {
-        parallel_workers: 1,
-        alignment: AlignmentMode::Lazy,
-        ..Default::default()
-    };
+    let options =
+        TuningOptions { parallel_workers: 1, alignment: AlignmentMode::Lazy, ..Default::default() };
     let result = tune(&target, &workload, &options).unwrap();
     assert!(
         result.recommendation.is_aligned(),
@@ -231,12 +215,9 @@ fn alignment_produces_aligned_recommendation() {
     // alignment is a constraint: quality should be in the same ballpark
     // as unconstrained tuning (greedy search is not strictly monotone, so
     // allow wiggle in both directions)
-    let free = tune(
-        &target,
-        &workload,
-        &TuningOptions { parallel_workers: 1, ..Default::default() },
-    )
-    .unwrap();
+    let free =
+        tune(&target, &workload, &TuningOptions { parallel_workers: 1, ..Default::default() })
+            .unwrap();
     assert!(result.expected_improvement() > 0.3);
     assert!((free.expected_improvement() - result.expected_improvement()).abs() < 0.25);
 }
@@ -284,8 +265,7 @@ fn compression_preserves_quality_and_cuts_work() {
     // quality measured on the full workload is nearly identical
     let base = server.raw_configuration();
     let base_cost = workload_cost(&target, &workload, &base).unwrap();
-    let q_with =
-        1.0 - workload_cost(&target, &workload, &with.recommendation).unwrap() / base_cost;
+    let q_with = 1.0 - workload_cost(&target, &workload, &with.recommendation).unwrap() / base_cost;
     let q_without =
         1.0 - workload_cost(&target, &workload, &without.recommendation).unwrap() / base_cost;
     assert!(
@@ -299,11 +279,8 @@ fn time_budget_limits_work() {
     let server = make_server();
     let target = TuningTarget::Single(&server);
     let workload = read_workload();
-    let tiny_budget = TuningOptions {
-        parallel_workers: 1,
-        time_budget_units: Some(200.0),
-        ..Default::default()
-    };
+    let tiny_budget =
+        TuningOptions { parallel_workers: 1, time_budget_units: Some(200.0), ..Default::default() };
     let result = tune(&target, &workload, &tiny_budget).unwrap();
     // it finishes and does not blow the budget by more than one call's worth
     assert!(result.tuning_work_units < 2000.0, "spent {}", result.tuning_work_units);
@@ -318,10 +295,120 @@ fn evaluate_mode_reports_changes() {
     let proposed = current.union(&Configuration::from_structures([PhysicalStructure::Index(
         Index::non_clustered("d", "fact", &["a"], &["pad"]),
     )]));
-    let report =
-        dta_core::evaluate_configuration(&target, &workload, &current, &proposed).unwrap();
+    let report = dta_core::evaluate_configuration(&target, &workload, &current, &proposed).unwrap();
     assert!(report.change_percent() < -10.0, "change {}", report.change_percent());
     assert_eq!(report.statements.len(), workload.len());
     let usage = report.structure_usage();
     assert!(usage.iter().any(|(name, n)| name.contains("idx_fact_a") && *n > 0), "{usage:?}");
+}
+
+#[test]
+fn parallel_enumeration_matches_serial() {
+    // the tentpole guarantee: parallel and serial tuning produce
+    // byte-identical recommendations. Fresh servers per run so statistics
+    // creation cannot leak state between the two.
+    let workload = read_workload();
+    let run = |workers: usize| {
+        let server = make_server();
+        let target = TuningTarget::Single(&server);
+        tune(&target, &workload, &TuningOptions { parallel_workers: workers, ..Default::default() })
+            .unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    assert_eq!(
+        serial.recommendation.to_string(),
+        parallel.recommendation.to_string(),
+        "recommendations differ between 1 and 4 workers"
+    );
+    assert_eq!(serial.base_cost.to_bits(), parallel.base_cost.to_bits());
+    assert_eq!(
+        serial.recommended_cost.to_bits(),
+        parallel.recommended_cost.to_bits(),
+        "costs differ: {} vs {}",
+        serial.recommended_cost,
+        parallel.recommended_cost
+    );
+    assert_eq!(serial.storage_bytes, parallel.storage_bytes);
+    assert_eq!(serial.whatif_calls, parallel.whatif_calls);
+    assert_eq!(serial.evaluations, parallel.evaluations);
+    assert_eq!(serial.candidates_selected, parallel.candidates_selected);
+}
+
+#[test]
+fn shared_cache_reduces_whatif_calls() {
+    use dta_core::candidates::select_candidates;
+    use dta_core::colgroups::interesting_column_groups;
+    use dta_core::cost::CostEvaluator;
+    use dta_core::enumeration::enumerate;
+    use dta_core::merging::merge_candidates;
+    use dta_stats::StatKey;
+    use std::collections::BTreeSet;
+
+    // compression off so the tuned items equal the workload items and the
+    // replay below walks the identical pipeline
+    let options = TuningOptions { parallel_workers: 1, compress: false, ..Default::default() };
+    let workload = read_workload();
+
+    // the session under test: one shared evaluator end to end
+    let shared_server = make_server();
+    let shared_target = TuningTarget::Single(&shared_server);
+    let shared = tune(&shared_target, &workload, &options).unwrap();
+
+    // replay of the pre-refactor layout on an identical fresh server:
+    // three independent evaluators (pre-costs, selection, enumeration),
+    // each with its own cold cache
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let items = &workload.items;
+    let base = server.raw_configuration();
+
+    let pre_eval = CostEvaluator::new(&target, items);
+    let mut pre_costs = Vec::with_capacity(items.len());
+    for i in 0..items.len() {
+        pre_costs.push(pre_eval.item_cost(i, &base).unwrap());
+    }
+    let groups = interesting_column_groups(
+        target.catalog(),
+        items,
+        &pre_costs,
+        options.colgroup_cost_threshold,
+    );
+    let mut required: Vec<StatKey> = Vec::new();
+    let mut table_keys: BTreeSet<(String, String)> = BTreeSet::new();
+    for item in items.iter() {
+        for t in item.statement.referenced_tables() {
+            table_keys.insert((item.database.clone(), t.to_string()));
+        }
+    }
+    for (db, table) in &table_keys {
+        for group in groups.for_table(db, table) {
+            let cols: Vec<String> = group.iter().cloned().collect();
+            required.push(StatKey { database: db.clone(), table: table.clone(), columns: cols });
+        }
+    }
+    target.ensure_statistics(&required, options.reduce_statistics);
+
+    let sel_eval = CostEvaluator::new(&target, items);
+    let mut pool = select_candidates(&sel_eval, &base, &groups, &options, &(|| false));
+    merge_candidates(&mut pool);
+
+    let enum_eval = CostEvaluator::new(&target, items);
+    enum_eval.workload_cost(&base).unwrap();
+    let enumeration =
+        enumerate(&enum_eval, &base, &pool.candidates, &server, &options, &(|| false));
+
+    let seed_layout_calls =
+        pre_eval.whatif_calls() + sel_eval.whatif_calls() + enum_eval.whatif_calls();
+
+    // both pipelines make the same decisions...
+    assert_eq!(shared.recommendation.to_string(), enumeration.configuration.to_string());
+    // ...but the shared cache answers strictly more of the questions
+    assert!(
+        shared.whatif_calls < seed_layout_calls,
+        "shared {} !< three-evaluator layout {}",
+        shared.whatif_calls,
+        seed_layout_calls
+    );
 }

@@ -122,11 +122,7 @@ pub fn eval(
 }
 
 /// Evaluate a predicate expression to a boolean.
-pub fn eval_predicate(
-    expr: &Expr,
-    rel: &Relation,
-    row: &[Value],
-) -> Result<bool, ExecError> {
+pub fn eval_predicate(expr: &Expr, rel: &Relation, row: &[Value]) -> Result<bool, ExecError> {
     Ok(truthy(&eval(expr, rel, row, None)?))
 }
 
@@ -253,7 +249,7 @@ impl Accumulator {
     pub fn push(&mut self, v: Option<&Value>) {
         match self {
             Accumulator::Count(c) => {
-                if v.map_or(true, |v| !v.is_null()) {
+                if v.is_none_or(|v| !v.is_null()) {
                     *c += 1;
                 }
             }
@@ -278,14 +274,14 @@ impl Accumulator {
             }
             Accumulator::Min(cur) => {
                 if let Some(v) = v {
-                    if !v.is_null() && cur.as_ref().map_or(true, |c| v < c) {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
                         *cur = Some(v.clone());
                     }
                 }
             }
             Accumulator::Max(cur) => {
                 if let Some(v) = v {
-                    if !v.is_null() && cur.as_ref().map_or(true, |c| v > c) {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
                         *cur = Some(v.clone());
                     }
                 }

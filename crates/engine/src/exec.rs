@@ -73,7 +73,8 @@ impl<'a> Engine<'a> {
             Ok(_) => return Err(ExecError::BadPlan("statement is not a SELECT".into())),
             Err(e) => return Err(ExecError::BadPlan(e.to_string())),
         };
-        let mut exec = Exec { engine: self, database, select, bound: &bound, work: ActualWork::default() };
+        let mut exec =
+            Exec { engine: self, database, select, bound: &bound, work: ActualWork::default() };
         let rel = exec.run(&plan.root)?;
         let (columns, rows) = exec.project(rel)?;
         Ok(QueryResult { columns, rows, work: exec.work })
@@ -150,7 +151,9 @@ impl<'a> Exec<'a> {
                         rel.position(Some(&c.binding), &c.column)
                             .or_else(|| rel.position(None, &c.column))
                             .map(|p| (p, *desc))
-                            .ok_or_else(|| ExecError::Eval(format!("sort key {} missing", c.column)))
+                            .ok_or_else(|| {
+                                ExecError::Eval(format!("sort key {} missing", c.column))
+                            })
                     })
                     .collect::<Result<_, _>>()?;
                 rel.rows.sort_by(|a, b| {
@@ -222,11 +225,8 @@ impl<'a> Exec<'a> {
         };
 
         // materialize + filter by all sargs and residual predicates
-        let cols: Vec<ColId> = data
-            .column_names()
-            .iter()
-            .map(|c| ColId::new(&a.binding, c))
-            .collect();
+        let cols: Vec<ColId> =
+            data.column_names().iter().map(|c| ColId::new(&a.binding, c)).collect();
         let mut rel = Relation::new(cols);
         let col_count = data.column_names().len();
         let sarg_positions: Vec<(usize, &SargOp)> = a
@@ -301,12 +301,9 @@ impl<'a> Exec<'a> {
     }
 
     fn index_leaf_pages(&self, data: &TableData, index: &Index) -> f64 {
-        let width: u32 = index
-            .leaf_columns()
-            .filter_map(|c| data.column_index(c))
-            .map(|_| 8u32)
-            .sum::<u32>()
-            + 17;
+        let width: u32 =
+            index.leaf_columns().filter_map(|c| data.column_index(c)).map(|_| 8u32).sum::<u32>()
+                + 17;
         pages_for(data.rows() as u64, width) as f64
     }
 
@@ -322,11 +319,8 @@ impl<'a> Exec<'a> {
         let mut theirs = Vec::new();
         for p in pairs {
             let (a, b) = (&p.left, &p.right);
-            let (me, them) = if rel.position(Some(&a.binding), &a.column).is_some() {
-                (a, b)
-            } else {
-                (b, a)
-            };
+            let (me, them) =
+                if rel.position(Some(&a.binding), &a.column).is_some() { (a, b) } else { (b, a) };
             let mp = rel
                 .position(Some(&me.binding), &me.column)
                 .ok_or_else(|| ExecError::Eval(format!("join column {} missing", me.column)))?;
@@ -449,14 +443,10 @@ impl<'a> Exec<'a> {
         // secondary join pairs evaluated as residual equalities
         let extra_pairs: Vec<&JoinPred> = pairs.iter().filter(|p| *p != pair).collect();
 
-        let inner_cols: Vec<ColId> = data
-            .column_names()
-            .iter()
-            .map(|c| ColId::new(&inner.binding, c))
-            .collect();
-        let mut out = Relation::new(
-            outer.cols.iter().cloned().chain(inner_cols.iter().cloned()).collect(),
-        );
+        let inner_cols: Vec<ColId> =
+            data.column_names().iter().map(|c| ColId::new(&inner.binding, c)).collect();
+        let mut out =
+            Relation::new(outer.cols.iter().cloned().chain(inner_cols.iter().cloned()).collect());
 
         let leaf_pages = self.index_leaf_pages(data, index);
         let total = data.rows().max(1) as f64;
@@ -580,19 +570,18 @@ impl<'a> Exec<'a> {
                 continue;
             }
             let canonical = stmt_agg_canonical_key(self.bound, func, &arg);
-            let source = rel
-                .cols
-                .iter()
-                .position(|c| c.binding == "#agg" && c.column == canonical)
-                .or_else(|| {
-                    (func == dta_sql::AggFunc::Count)
-                        .then(|| {
-                            rel.cols.iter().position(|c| {
-                                c.binding == "#agg" && c.column.starts_with("COUNT")
+            let source =
+                rel.cols.iter().position(|c| c.binding == "#agg" && c.column == canonical).or_else(
+                    || {
+                        (func == dta_sql::AggFunc::Count)
+                            .then(|| {
+                                rel.cols.iter().position(|c| {
+                                    c.binding == "#agg" && c.column.starts_with("COUNT")
+                                })
                             })
-                        })
-                        .flatten()
-                });
+                            .flatten()
+                    },
+                );
             if let Some(src) = source {
                 rel.cols.push(ColId::new("#agg", &stmt_key));
                 for row in &mut rel.rows {
@@ -623,12 +612,12 @@ impl<'a> Exec<'a> {
         for t in &view.tables {
             let data = self.table_data(t)?;
             let b = binding_of(t);
-            let cols: Vec<ColId> =
-                data.column_names().iter().map(|c| ColId::new(&b, c)).collect();
+            let cols: Vec<ColId> = data.column_names().iter().map(|c| ColId::new(&b, c)).collect();
             let mut rel = Relation::new(cols);
             for r in 0..data.rows() {
-                rel.rows
-                    .push((0..data.column_names().len()).map(|c| data.cell(r, c).clone()).collect());
+                rel.rows.push(
+                    (0..data.column_names().len()).map(|c| data.cell(r, c).clone()).collect(),
+                );
             }
             joined = Some(match joined {
                 None => rel,
@@ -718,10 +707,7 @@ impl<'a> Exec<'a> {
         for row in &joined.rows {
             let key: Vec<Value> = group_pos.iter().map(|&p| row[p].clone()).collect();
             let accs = groups.entry(key).or_insert_with(|| {
-                view.aggregates
-                    .iter()
-                    .map(|va| Accumulator::new(va.func, false))
-                    .collect()
+                view.aggregates.iter().map(|va| Accumulator::new(va.func, false)).collect()
             });
             for (acc, input) in accs.iter_mut().zip(&agg_inputs) {
                 match input {
@@ -734,11 +720,8 @@ impl<'a> Exec<'a> {
             }
         }
 
-        let mut cols: Vec<ColId> = view
-            .group_by
-            .iter()
-            .map(|qc| ColId::new(&binding_of(&qc.table), &qc.column))
-            .collect();
+        let mut cols: Vec<ColId> =
+            view.group_by.iter().map(|qc| ColId::new(&binding_of(&qc.table), &qc.column)).collect();
         for va in &view.aggregates {
             cols.push(ColId::new("#agg", &view_agg_canonical_key(va)));
         }
@@ -801,10 +784,7 @@ impl<'a> Exec<'a> {
                 if let Expr::Aggregate { func, distinct, arg } = n {
                     let key = (func, arg, distinct);
                     let _ = key;
-                    if !stmt_aggs
-                        .iter()
-                        .any(|(f, a, d)| f == func && a == arg && d == distinct)
-                    {
+                    if !stmt_aggs.iter().any(|(f, a, d)| f == func && a == arg && d == distinct) {
                         stmt_aggs.push((*func, arg.clone(), *distinct));
                     }
                 }
@@ -835,11 +815,13 @@ impl<'a> Exec<'a> {
                         .position(|c| c.binding == "#agg" && c.column == key)
                         .or_else(|| {
                             // COUNT(col)/COUNT(*) fall back to the view's COUNT(*)
-                            (*func == dta_sql::AggFunc::Count).then(|| {
-                                rel.cols.iter().position(|c| {
-                                    c.binding == "#agg" && c.column.starts_with("COUNT")
+                            (*func == dta_sql::AggFunc::Count)
+                                .then(|| {
+                                    rel.cols.iter().position(|c| {
+                                        c.binding == "#agg" && c.column.starts_with("COUNT")
+                                    })
                                 })
-                            }).flatten()
+                                .flatten()
                         })
                         .ok_or_else(|| {
                             ExecError::Eval(format!("view lacks aggregate for {}", key))
@@ -890,12 +872,8 @@ impl<'a> Exec<'a> {
             );
         }
 
-        let mut cols: Vec<ColId> = self
-            .bound
-            .group_by
-            .iter()
-            .map(|g| ColId::new(&g.binding, &g.column))
-            .collect();
+        let mut cols: Vec<ColId> =
+            self.bound.group_by.iter().map(|g| ColId::new(&g.binding, &g.column)).collect();
         for (func, arg, distinct) in &stmt_aggs {
             cols.push(ColId::new("#agg", &agg_key(*func, arg, *distinct)));
         }
@@ -958,13 +936,15 @@ impl<'a> Exec<'a> {
             .projections
             .iter()
             .enumerate()
-            .map(|(i, p)| p.alias.clone().unwrap_or_else(|| match &p.expr {
-                Expr::Column(c) => c.column.clone(),
-                other => {
-                    let _ = other;
-                    format!("col{i}")
-                }
-            }))
+            .map(|(i, p)| {
+                p.alias.clone().unwrap_or_else(|| match &p.expr {
+                    Expr::Column(c) => c.column.clone(),
+                    other => {
+                        let _ = other;
+                        format!("col{i}")
+                    }
+                })
+            })
             .collect();
         let mut rows = Vec::with_capacity(rel.len());
         let has_aggs = self.bound.is_aggregate();

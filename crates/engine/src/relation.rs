@@ -44,9 +44,7 @@ impl Relation {
     /// Resolve a (possibly unqualified) column reference to its position.
     /// Unqualified names match any binding; the first hit wins.
     pub fn position(&self, binding: Option<&str>, column: &str) -> Option<usize> {
-        self.cols.iter().position(|c| {
-            c.column == column && binding.map_or(true, |b| c.binding == b)
-        })
+        self.cols.iter().position(|c| c.column == column && binding.is_none_or(|b| c.binding == b))
     }
 
     /// Concatenate schemas and cross rows of two relations (used by
@@ -62,7 +60,8 @@ mod tests {
 
     #[test]
     fn position_resolution() {
-        let r = Relation::new(vec![ColId::new("t", "a"), ColId::new("u", "a"), ColId::new("u", "b")]);
+        let r =
+            Relation::new(vec![ColId::new("t", "a"), ColId::new("u", "a"), ColId::new("u", "b")]);
         assert_eq!(r.position(Some("u"), "a"), Some(1));
         assert_eq!(r.position(None, "a"), Some(0));
         assert_eq!(r.position(None, "b"), Some(2));

@@ -147,11 +147,7 @@ fn group_by_results_correct() {
     assert_eq!(res.rows.len(), 12);
     // months ordered 0..12; each has 20000/12 rounded rows
     assert_eq!(res.rows[0][0], Value::Int(0));
-    let total: f64 = res
-        .rows
-        .iter()
-        .map(|r| r[1].as_f64().unwrap())
-        .sum();
+    let total: f64 = res.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
     assert_eq!(total as i64, 20_000);
 }
 
@@ -175,9 +171,12 @@ fn index_reduces_actual_work_and_same_answers() {
     let (cat, store, stats) = setup();
     let sql = "SELECT o_price FROM orders WHERE o_custkey = 42";
     let raw_cfg = Configuration::new();
-    let ix_cfg = Configuration::from_structures([PhysicalStructure::Index(
-        Index::non_clustered("db", "orders", &["o_custkey"], &["o_price"]),
-    )]);
+    let ix_cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+        "db",
+        "orders",
+        &["o_custkey"],
+        &["o_price"],
+    ))]);
     let (raw, raw_est) = run(sql, &raw_cfg, &cat, &store, &stats).unwrap();
     let (ix, ix_est) = run(sql, &ix_cfg, &cat, &store, &stats).unwrap();
     assert_eq!(raw.rows.len(), 20);
@@ -240,9 +239,12 @@ fn estimated_and_actual_improvements_are_close() {
     // the §7.2 effect in miniature: estimated improvement ≈ actual
     let (cat, store, stats) = setup();
     let sql = "SELECT o_month, SUM(o_price) FROM orders WHERE o_custkey < 100 GROUP BY o_month";
-    let cfg = Configuration::from_structures([PhysicalStructure::Index(
-        Index::non_clustered("db", "orders", &["o_custkey"], &["o_month", "o_price"]),
-    )]);
+    let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+        "db",
+        "orders",
+        &["o_custkey"],
+        &["o_month", "o_price"],
+    ))]);
     let (raw, raw_est) = run(sql, &Configuration::new(), &cat, &store, &stats).unwrap();
     let (tuned, tuned_est) = run(sql, &cfg, &cat, &store, &stats).unwrap();
     let est_improvement = 1.0 - tuned_est / raw_est;
@@ -296,14 +298,9 @@ fn having_filters_groups() {
 #[test]
 fn distinct_dedupes() {
     let (cat, store, stats) = setup();
-    let (res, _) = run(
-        "SELECT DISTINCT o_month FROM orders",
-        &Configuration::new(),
-        &cat,
-        &store,
-        &stats,
-    )
-    .unwrap();
+    let (res, _) =
+        run("SELECT DISTINCT o_month FROM orders", &Configuration::new(), &cat, &store, &stats)
+            .unwrap();
     assert_eq!(res.rows.len(), 12);
 }
 
@@ -319,9 +316,12 @@ fn missing_table_data_errors() {
 fn index_nested_loop_join_correct() {
     let (cat, store, stats) = setup();
     // index on orders.o_custkey, selective predicate on customer
-    let cfg = Configuration::from_structures([PhysicalStructure::Index(
-        Index::non_clustered("db", "orders", &["o_custkey"], &["o_price"]),
-    )]);
+    let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+        "db",
+        "orders",
+        &["o_custkey"],
+        &["o_price"],
+    ))]);
     let (res, _) = run(
         "SELECT COUNT(*) FROM customer, orders WHERE c_custkey = o_custkey AND c_nation = 3",
         &cfg,

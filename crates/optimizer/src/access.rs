@@ -42,10 +42,7 @@ pub struct AccessOption {
 }
 
 /// Combined `(low, high)` value bounds that sargs impose on `column`.
-pub fn sarg_bounds<'s>(
-    sargs: &[&'s Sarg],
-    column: &str,
-) -> (Option<&'s Value>, Option<&'s Value>) {
+pub fn sarg_bounds<'s>(sargs: &[&'s Sarg], column: &str) -> (Option<&'s Value>, Option<&'s Value>) {
     let mut lo: Option<&Value> = None;
     let mut hi: Option<&Value> = None;
     for s in sargs.iter().filter(|s| s.column.column == column) {
@@ -168,8 +165,7 @@ pub fn access_options(
                 est_cost: cost,
             },
             order,
-            partitioned_on: table_part
-                .map(|p| (BoundColumn::new(binding, &p.column), p.clone())),
+            partitioned_on: table_part.map(|p| (BoundColumn::new(binding, &p.column), p.clone())),
         });
     }
 
@@ -215,12 +211,10 @@ pub fn access_options(
         if ix.kind != IndexKind::NonClustered {
             continue;
         }
-        let leaf_width: u32 = ix
-            .leaf_columns()
-            .map(|c| ctx.sizes.column_width(ctx.database, table, c))
-            .sum::<u32>()
-            + dta_physical::sizing::ROW_LOCATOR_BYTES
-            + dta_physical::sizing::ROW_OVERHEAD_BYTES;
+        let leaf_width: u32 =
+            ix.leaf_columns().map(|c| ctx.sizes.column_width(ctx.database, table, c)).sum::<u32>()
+                + dta_physical::sizing::ROW_LOCATOR_BYTES
+                + dta_physical::sizing::ROW_OVERHEAD_BYTES;
         let leaf_pages = pages_for(rows as u64, leaf_width) as f64;
         let covering = ix.covers(required);
         let (seek_len, seek_sel) = seek_prefix(ctx, table, ix, sargs);
@@ -301,14 +295,15 @@ pub fn access_options(
 }
 
 /// The cheapest option, optionally requiring a sort order prefix.
-pub fn best_option(options: Vec<AccessOption>, order_prefix: Option<&[BoundColumn]>) -> Option<AccessOption> {
+pub fn best_option(
+    options: Vec<AccessOption>,
+    order_prefix: Option<&[BoundColumn]>,
+) -> Option<AccessOption> {
     options
         .into_iter()
         .filter(|o| match order_prefix {
             None => true,
-            Some(prefix) => {
-                o.order.len() >= prefix.len() && o.order[..prefix.len()] == *prefix
-            }
+            Some(prefix) => o.order.len() >= prefix.len() && o.order[..prefix.len()] == *prefix,
         })
         .min_by(|a, b| a.access.est_cost.total_cmp(&b.access.est_cost))
 }
@@ -403,10 +398,7 @@ mod tests {
     #[test]
     fn partition_elimination_reduces_scan_cost() {
         let stats = StatisticsManager::new();
-        let scheme = RangePartitioning::new(
-            "d",
-            (1..10).map(|i| Value::Int(i * 100)).collect(),
-        );
+        let scheme = RangePartitioning::new("d", (1..10).map(|i| Value::Int(i * 100)).collect());
         let config = Configuration::from_structures([PhysicalStructure::TablePartitioning {
             database: "db".into(),
             table: "t".into(),
@@ -422,10 +414,7 @@ mod tests {
         let sargs = vec![&sarg];
         let filtered = access_options(&c, "t", "t", &sargs, 0, &[]);
         let elim_cost = filtered[0].access.est_cost;
-        assert!(
-            elim_cost < full_cost * 0.35,
-            "elim={elim_cost} full={full_cost}"
-        );
+        assert!(elim_cost < full_cost * 0.35, "elim={elim_cost} full={full_cost}");
         assert!(filtered[0].access.partition_fraction <= 0.25);
         assert!(filtered[0].partitioned_on.is_some());
     }
@@ -447,9 +436,11 @@ mod tests {
     #[test]
     fn clustered_seek_available_and_ordered() {
         let stats = StatisticsManager::new();
-        let config = Configuration::from_structures([PhysicalStructure::Index(
-            Index::clustered("db", "t", &["a", "b"]),
-        )]);
+        let config = Configuration::from_structures([PhysicalStructure::Index(Index::clustered(
+            "db",
+            "t",
+            &["a", "b"],
+        ))]);
         let sizes = FixedSizes::default().with_table("db", "t", 1_000_000, 100);
         let c = ctx(&stats, &config, &sizes);
         let sarg = eq_sarg("a", 5);

@@ -52,13 +52,8 @@ pub fn plan_dml(ctx: &PlanContext<'_>, dml: &BoundDml) -> PlanNode {
             let mut cost = access.est_cost() + affected * 1.0; // base row writes
             let mut maintained = Vec::new();
             for ix in ctx.config.indexes_on(database, table) {
-                let touches = ix
-                    .leaf_columns()
-                    .any(|c| set_columns.iter().any(|sc| sc == c))
-                    || ix
-                        .partitioning
-                        .as_ref()
-                        .is_some_and(|p| set_columns.iter().any(|sc| *sc == p.column));
+                let touches = ix.leaf_columns().any(|c| set_columns.iter().any(|sc| sc == c))
+                    || ix.partitioning.as_ref().is_some_and(|p| set_columns.contains(&p.column));
                 if touches {
                     cost += affected * 2.0 * INDEX_MAINT_PAGES; // delete + insert entry
                     maintained.push(ix.name());
@@ -113,9 +108,8 @@ fn view_references_columns(
     table: &str,
     columns: &[String],
 ) -> bool {
-    let hit = |qc: &dta_physical::QualifiedColumn| {
-        qc.table == table && columns.iter().any(|c| *c == qc.column)
-    };
+    let hit =
+        |qc: &dta_physical::QualifiedColumn| qc.table == table && columns.contains(&qc.column);
     v.group_by.iter().any(hit)
         || v.projected.iter().any(hit)
         || v.aggregates.iter().any(|a| a.arg_columns.iter().any(&hit))
@@ -250,9 +244,12 @@ mod tests {
             };
             plan_dml(&ctx, &dml(&cat, "UPDATE t SET a = 1 WHERE k = 5")).est_cost()
         };
-        let cfg = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("db", "t", &["k"], &[]),
-        )]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "db",
+            "t",
+            &["k"],
+            &[],
+        ))]);
         let with_ix = run(&cfg);
         let without = run(&Configuration::new());
         assert!(with_ix < without, "with={with_ix} without={without}");
@@ -279,9 +276,12 @@ mod tests {
         let cat = catalog();
         let stats = StatisticsManager::new();
         let sizes = FixedSizes::default().with_table("db", "t", 100_000, 16);
-        let cfg = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("db", "t", &["a"], &[]),
-        )]);
+        let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "db",
+            "t",
+            &["a"],
+            &[],
+        ))]);
         let ctx = PlanContext {
             estimator: Estimator::new(&stats, "db"),
             config: &cfg,

@@ -52,7 +52,11 @@ fn leaf_state(ctx: &PlanContext<'_>, bound: &BoundSelect, binding: &str) -> Join
 }
 
 /// Join predicates connecting the current set to `binding`.
-fn connecting<'p>(preds: &'p [JoinPred], set: &BTreeSet<String>, binding: &str) -> Vec<&'p JoinPred> {
+fn connecting<'p>(
+    preds: &'p [JoinPred],
+    set: &BTreeSet<String>,
+    binding: &str,
+) -> Vec<&'p JoinPred> {
     preds
         .iter()
         .filter(|p| {
@@ -70,14 +74,7 @@ fn join_sel(ctx: &PlanContext<'_>, bound: &BoundSelect, preds: &[&JoinPred]) -> 
         let rt = bound.table_of(&p.right.binding).expect("bound");
         let lr = ctx.sizes.rows(ctx.database, lt) as f64;
         let rr = ctx.sizes.rows(ctx.database, rt) as f64;
-        sel *= ctx.estimator.join_selectivity(
-            lt,
-            &p.left.column,
-            lr,
-            rt,
-            &p.right.column,
-            rr,
-        );
+        sel *= ctx.estimator.join_selectivity(lt, &p.left.column, lr, rt, &p.right.column, rr);
     }
     sel
 }
@@ -100,9 +97,9 @@ fn hash_join_cost(
     let partition_wise = match (&a.partitioned_on, &b.partitioned_on) {
         (Some((ca, pa)), Some((cb, pb))) => {
             pa.boundaries == pb.boundaries
-                && preds.iter().any(|p| {
-                    (p.left == *ca && p.right == *cb) || (p.left == *cb && p.right == *ca)
-                })
+                && preds
+                    .iter()
+                    .any(|p| (p.left == *ca && p.right == *cb) || (p.left == *cb && p.right == *ca))
         }
         _ => false,
     };
@@ -145,10 +142,8 @@ fn inl_join(
     let local_sel = ctx.estimator.table_selectivity(inner_table, &inner_sargs, inner_residuals);
 
     // join columns on the inner side
-    let join_cols: Vec<&str> = preds
-        .iter()
-        .filter_map(|p| p.side_for(inner_binding).map(|c| c.column.as_str()))
-        .collect();
+    let join_cols: Vec<&str> =
+        preds.iter().filter_map(|p| p.side_for(inner_binding).map(|c| c.column.as_str())).collect();
 
     let mut best: Option<(TableAccess, f64)> = None;
     for ix in ctx.config.indexes_on(ctx.database, inner_table) {
@@ -156,10 +151,8 @@ fn inl_join(
         if !join_cols.contains(&first_key.as_str()) {
             continue;
         }
-        let covering =
-            ix.kind == IndexKind::Clustered || ix.covers(&required);
-        let distinct =
-            ctx.estimator.distinct_count(inner_table, first_key, inner_rows.max(1.0));
+        let covering = ix.kind == IndexKind::Clustered || ix.covers(&required);
+        let distinct = ctx.estimator.distinct_count(inner_table, first_key, inner_rows.max(1.0));
         let matched_per_probe = (inner_rows / distinct).max(0.0);
         let leaf_width: u32 = if ix.kind == IndexKind::Clustered {
             ctx.sizes.row_width(ctx.database, inner_table)
@@ -195,7 +188,7 @@ fn inl_join(
             est_cost: cost_per_probe,
         };
         let total = outer.rows() * cost_per_probe;
-        if best.as_ref().map_or(true, |(_, c)| total < *c) {
+        if best.as_ref().is_none_or(|(_, c)| total < *c) {
             best = Some((access, total));
         }
     }
@@ -227,7 +220,9 @@ pub fn plan_joins(ctx: &PlanContext<'_>, bound: &BoundSelect) -> JoinState {
 
             // hash join option
             let (hj_incr, partition_wise) = hash_join_cost(ctx, &cur, cand, &preds, out_rows);
-            let hj_total = cur.cost() + cand.cost() + hj_incr
+            let hj_total = cur.cost()
+                + cand.cost()
+                + hj_incr
                 + if preds.is_empty() {
                     // discourage cross joins strongly
                     cur.rows() * cand.rows() * CPU_W * 10.0
@@ -275,7 +270,7 @@ pub fn plan_joins(ctx: &PlanContext<'_>, bound: &BoundSelect) -> JoinState {
                 }
             }
 
-            if best.as_ref().map_or(true, |(_, c, _)| choice_cost < *c) {
+            if best.as_ref().is_none_or(|(_, c, _)| choice_cost < *c) {
                 best = Some((i, choice_cost, choice));
             }
         }
@@ -341,7 +336,10 @@ mod tests {
         .unwrap();
         db.add_table(Table::new(
             "customer",
-            vec![Column::new("c_custkey", ColumnType::BigInt), Column::new("c_name", ColumnType::Str(25))],
+            vec![
+                Column::new("c_custkey", ColumnType::BigInt),
+                Column::new("c_name", ColumnType::Str(25)),
+            ],
         ))
         .unwrap();
         let mut cat = Catalog::new();

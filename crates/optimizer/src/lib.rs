@@ -40,6 +40,6 @@ pub mod whatif;
 
 pub use hardware::HardwareParams;
 pub use plan::{Plan, PlanNode};
-pub use query::{BindError, BoundSelect, Sarg, SargOp};
 pub use provider::TableStatsProvider;
+pub use query::{BindError, BoundSelect, Sarg, SargOp};
 pub use whatif::WhatIfOptimizer;

@@ -102,12 +102,7 @@ pub enum PlanNode {
         est_cost: f64,
     },
     /// Hash aggregation.
-    HashAggregate {
-        input: Box<PlanNode>,
-        group_by: Vec<BoundColumn>,
-        est_rows: f64,
-        est_cost: f64,
-    },
+    HashAggregate { input: Box<PlanNode>, group_by: Vec<BoundColumn>, est_rows: f64, est_cost: f64 },
     /// Stream aggregation over already-ordered input.
     StreamAggregate {
         input: Box<PlanNode>,
@@ -116,12 +111,7 @@ pub enum PlanNode {
         est_cost: f64,
     },
     /// Explicit sort.
-    Sort {
-        input: Box<PlanNode>,
-        keys: Vec<(BoundColumn, bool)>,
-        est_rows: f64,
-        est_cost: f64,
-    },
+    Sort { input: Box<PlanNode>, keys: Vec<(BoundColumn, bool)>, est_rows: f64, est_cost: f64 },
     /// TOP n truncation.
     Top { input: Box<PlanNode>, n: u64, est_rows: f64, est_cost: f64 },
     /// INSERT with structure maintenance.
@@ -142,12 +132,7 @@ pub enum PlanNode {
         est_cost: f64,
     },
     /// DELETE: locate rows via `access`, remove, maintain structures.
-    Delete {
-        access: Box<PlanNode>,
-        maintained: Vec<String>,
-        est_rows: f64,
-        est_cost: f64,
-    },
+    Delete { access: Box<PlanNode>, maintained: Vec<String>, est_rows: f64, est_cost: f64 },
 }
 
 impl PlanNode {

@@ -1,7 +1,10 @@
 //! Table-size facts the optimizer needs from the hosting server.
 
 /// Row counts and widths of base tables (at logical scale).
-pub trait TableStatsProvider {
+///
+/// `Sync` so providers can be shared across the advisor's worker
+/// threads (enumeration and candidate selection fan out).
+pub trait TableStatsProvider: Sync {
     /// Logical row count of a table (0 if unknown).
     fn rows(&self, database: &str, table: &str) -> u64;
     /// Average row width in bytes.
@@ -36,9 +39,7 @@ impl TableStatsProvider for FixedSizes {
     }
 
     fn row_width(&self, database: &str, table: &str) -> u32 {
-        self.tables
-            .get(&(database.to_string(), table.to_string()))
-            .map_or(64, |t| t.1)
+        self.tables.get(&(database.to_string(), table.to_string())).map_or(64, |t| t.1)
     }
 
     fn column_width(&self, _database: &str, _table: &str, _column: &str) -> u32 {

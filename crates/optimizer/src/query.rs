@@ -2,9 +2,7 @@
 //! query descriptions the planner consumes.
 
 use dta_catalog::{Catalog, Value};
-use dta_sql::{
-    AggFunc, BinaryOp, ColumnRef, Expr, Literal, SelectStatement, Statement,
-};
+use dta_sql::{AggFunc, BinaryOp, ColumnRef, Expr, Literal, SelectStatement, Statement};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Binding failures.
@@ -156,10 +154,7 @@ pub struct BoundAggregate {
 /// expression written against a view definition and against a query
 /// compares equal. Returns `None` when the expression cannot be
 /// canonicalized unambiguously (self-joins, unresolvable columns).
-pub fn canonical_agg_arg(
-    bound: &BoundSelect,
-    arg: &Expr,
-) -> Option<(String, Vec<BoundColumn>)> {
+pub fn canonical_agg_arg(bound: &BoundSelect, arg: &Expr) -> Option<(String, Vec<BoundColumn>)> {
     // binding → table must be injective (no self-joins)
     let mut tables: Vec<&str> = bound.tables.iter().map(|t| t.table.as_str()).collect();
     tables.sort_unstable();
@@ -360,10 +355,8 @@ impl<'a> SingleBinder<'a> {
                         return Err(BindError::UnknownColumn(column.column));
                     }
                     out.referenced.insert(column.column.clone());
-                    out.sargs.push(Sarg {
-                        column: BoundColumn::new(&self.table, &column.column),
-                        op,
-                    });
+                    out.sargs
+                        .push(Sarg { column: BoundColumn::new(&self.table, &column.column), op });
                 }
                 _ => {
                     out.residuals += 1;
@@ -410,16 +403,14 @@ fn literal_value(l: &Literal) -> Option<Value> {
 
 fn classify_conjunct(e: &Expr) -> Classified {
     match e {
-        Expr::Binary { left, op, right } if op.is_comparison() => {
-            match (&**left, &**right) {
-                (Expr::Column(c), Expr::Literal(l)) => classify_cmp(c, *op, l),
-                (Expr::Literal(l), Expr::Column(c)) => classify_cmp(c, op.flip(), l),
-                (Expr::Column(a), Expr::Column(b)) if *op == BinaryOp::Eq => {
-                    Classified::Join { left: a.clone(), right: b.clone() }
-                }
-                _ => Classified::Residual,
+        Expr::Binary { left, op, right } if op.is_comparison() => match (&**left, &**right) {
+            (Expr::Column(c), Expr::Literal(l)) => classify_cmp(c, *op, l),
+            (Expr::Literal(l), Expr::Column(c)) => classify_cmp(c, op.flip(), l),
+            (Expr::Column(a), Expr::Column(b)) if *op == BinaryOp::Eq => {
+                Classified::Join { left: a.clone(), right: b.clone() }
             }
-        }
+            _ => Classified::Residual,
+        },
         Expr::Between { expr, negated: false, low, high } => {
             if let (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) =
                 (&**expr, &**low, &**high)
@@ -495,9 +486,8 @@ fn bind_select(
     let mut join_exprs: Vec<Expr> = Vec::new();
     for twj in &s.from {
         for tref in twj.tables() {
-            let t = db
-                .table(&tref.name)
-                .ok_or_else(|| BindError::UnknownTable(tref.name.clone()))?;
+            let t =
+                db.table(&tref.name).ok_or_else(|| BindError::UnknownTable(tref.name.clone()))?;
             tables.push(BoundTable {
                 binding: tref.binding_name().to_string(),
                 table: t.name.clone(),
@@ -524,9 +514,9 @@ fn bind_select(
             }
             Ok(BoundColumn::new(&bt.binding, &c.column))
         } else {
-            let mut hits = tables.iter().filter(|bt| {
-                db.table(&bt.table).is_some_and(|t| t.has_column(&c.column))
-            });
+            let mut hits = tables
+                .iter()
+                .filter(|bt| db.table(&bt.table).is_some_and(|t| t.has_column(&c.column)));
             let first = hits.next().ok_or_else(|| BindError::UnknownColumn(c.column.clone()))?;
             if hits.next().is_some() {
                 return Err(BindError::AmbiguousColumn(c.column.clone()));
@@ -552,11 +542,7 @@ fn bind_select(
     };
 
     let note_ref = |bc: &BoundColumn, bound: &mut BoundSelect| {
-        bound
-            .referenced
-            .entry(bc.binding.clone())
-            .or_default()
-            .insert(bc.column.clone());
+        bound.referenced.entry(bc.binding.clone()).or_default().insert(bc.column.clone());
     };
 
     // conjuncts from WHERE and JOIN ... ON, treated uniformly
@@ -592,18 +578,16 @@ fn bind_select(
                 // attribute to a single table if possible
                 let mut bindings: BTreeSet<String> = BTreeSet::new();
                 let mut err = None;
-                collect_columns(conjunct, &mut |c| {
-                    match resolve(c) {
-                        Ok(bc) => {
-                            bindings.insert(bc.binding.clone());
-                            bound
-                                .referenced
-                                .entry(bc.binding.clone())
-                                .or_default()
-                                .insert(bc.column.clone());
-                        }
-                        Err(e) => err = Some(e),
+                collect_columns(conjunct, &mut |c| match resolve(c) {
+                    Ok(bc) => {
+                        bindings.insert(bc.binding.clone());
+                        bound
+                            .referenced
+                            .entry(bc.binding.clone())
+                            .or_default()
+                            .insert(bc.column.clone());
                     }
+                    Err(e) => err = Some(e),
                 });
                 if let Some(e) = err {
                     return Err(e);
@@ -676,11 +660,7 @@ fn bind_expr_refs(
     let mut err = None;
     collect_columns(e, &mut |c| match resolve(c) {
         Ok(bc) => {
-            bound
-                .referenced
-                .entry(bc.binding.clone())
-                .or_default()
-                .insert(bc.column.clone());
+            bound.referenced.entry(bc.binding.clone()).or_default().insert(bc.column.clone());
         }
         Err(e) => err = Some(e),
     });
@@ -883,8 +863,7 @@ mod tests {
             BoundStatement::Dml(BoundDml::Insert { rows, .. }) => assert_eq!(rows, 2),
             other => panic!("{other:?}"),
         }
-        let del =
-            bind(&cat, "db", &parse_statement("DELETE FROM t WHERE a = 3").unwrap()).unwrap();
+        let del = bind(&cat, "db", &parse_statement("DELETE FROM t WHERE a = 3").unwrap()).unwrap();
         assert!(matches!(del, BoundStatement::Dml(BoundDml::Delete { .. })));
     }
 

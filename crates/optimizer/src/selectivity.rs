@@ -79,9 +79,7 @@ impl<'a> Estimator<'a> {
     /// Estimated distinct count of one column, given the table's row
     /// count as a cap.
     pub fn distinct_count(&self, table: &str, column: &str, table_rows: f64) -> f64 {
-        if let Some(d) =
-            self.stats.scaled_distinct(self.database, table, &[column.to_string()])
-        {
+        if let Some(d) = self.stats.scaled_distinct(self.database, table, &[column.to_string()]) {
             return d.clamp(1.0, table_rows.max(1.0));
         }
         if let Some(h) = self.stats.histogram(self.database, table, column) {
@@ -200,10 +198,7 @@ mod tests {
     fn fallbacks_without_stats() {
         let m = StatisticsManager::new();
         let e = Estimator::new(&m, "db");
-        assert_eq!(
-            e.sarg_selectivity("t", &sarg("z", SargOp::Eq(Value::Int(1)))),
-            fallback::EQ
-        );
+        assert_eq!(e.sarg_selectivity("t", &sarg("z", SargOp::Eq(Value::Int(1)))), fallback::EQ);
         assert_eq!(
             e.sarg_selectivity(
                 "t",
@@ -260,10 +255,7 @@ mod tests {
     fn group_counts() {
         let m = stats();
         let e = Estimator::new(&m, "db");
-        let g = e.group_count(
-            &[("t".to_string(), BoundColumn::new("t", "g"))],
-            1000.0,
-        );
+        let g = e.group_count(&[("t".to_string(), BoundColumn::new("t", "g"))], 1000.0);
         assert!((g - 10.0).abs() < 1e-6);
         // multi-column with exact density for (g, a)
         let g2 = e.group_count(

@@ -59,10 +59,8 @@ pub fn estimate_view_rows(ctx: &PlanContext<'_>, view: &MaterializedView) -> f64
 /// Materialized width in bytes of one view row.
 pub fn view_row_width(ctx: &PlanContext<'_>, view: &MaterializedView) -> u32 {
     let produced = if view.is_grouped() { &view.group_by } else { &view.projected };
-    let mut w: u32 = produced
-        .iter()
-        .map(|c| ctx.sizes.column_width(ctx.database, &c.table, &c.column))
-        .sum();
+    let mut w: u32 =
+        produced.iter().map(|c| ctx.sizes.column_width(ctx.database, &c.table, &c.column)).sum();
     w += 8 * view.aggregates.len() as u32;
     w + dta_physical::sizing::ROW_OVERHEAD_BYTES
 }
@@ -82,10 +80,7 @@ fn aggregate_available(
         // are not stored in our views
         return false;
     }
-    let direct = view
-        .aggregates
-        .iter()
-        .any(|va| va.func == func && va.arg == *arg);
+    let direct = view.aggregates.iter().any(|va| va.func == func && va.arg == *arg);
     if !need_reaggregation {
         return direct
             || (func == AggFunc::Count
@@ -94,10 +89,9 @@ fn aggregate_available(
     // re-aggregation: SUM of SUMs, MIN of MINs, MAX of MAXs, SUM of COUNTs
     match func {
         AggFunc::Sum | AggFunc::Min | AggFunc::Max => direct,
-        AggFunc::Count => view
-            .aggregates
-            .iter()
-            .any(|va| va.func == AggFunc::Count && va.arg.is_none()),
+        AggFunc::Count => {
+            view.aggregates.iter().any(|va| va.func == AggFunc::Count && va.arg.is_none())
+        }
         AggFunc::Avg => false,
     }
 }
@@ -146,15 +140,11 @@ pub fn view_plans(ctx: &PlanContext<'_>, bound: &BoundSelect) -> Vec<ViewPlan> {
             continue;
         }
 
-        let q_groups: Vec<QualifiedColumn> = match bound
-            .group_by
-            .iter()
-            .map(to_table)
-            .collect::<Option<Vec<_>>>()
-        {
-            Some(g) => g,
-            None => continue,
-        };
+        let q_groups: Vec<QualifiedColumn> =
+            match bound.group_by.iter().map(to_table).collect::<Option<Vec<_>>>() {
+                Some(g) => g,
+                None => continue,
+            };
 
         let produced: &[QualifiedColumn] =
             if view.is_grouped() { &view.group_by } else { &view.projected };
@@ -215,13 +205,10 @@ pub fn view_plans(ctx: &PlanContext<'_>, bound: &BoundSelect) -> Vec<ViewPlan> {
         // scan cost over the materialized view
         let width = view_row_width(ctx, view);
         let pages = pages_for(v_rows.max(1.0) as u64, width) as f64;
-        let elim = view
-            .partitioning
-            .as_ref()
-            .map_or(1.0, |p| {
-                let refs: Vec<&Sarg> = view_sargs.iter().collect();
-                elimination_fraction(p, &refs)
-            });
+        let elim = view.partitioning.as_ref().map_or(1.0, |p| {
+            let refs: Vec<&Sarg> = view_sargs.iter().collect();
+            elimination_fraction(p, &refs)
+        });
         let io = (pages * elim).max(1.0);
         let cpu = v_rows * elim / ctx.hardware.parallel_factor(io);
         let cost = io + cpu * CPU_W;
@@ -343,8 +330,7 @@ mod tests {
     #[test]
     fn exact_match_found() {
         let cat = catalog();
-        let config =
-            Configuration::from_structures([PhysicalStructure::View(the_view())]);
+        let config = Configuration::from_structures([PhysicalStructure::View(the_view())]);
         let n = plans(
             &cat,
             "SELECT o_date, SUM(l_price), COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey GROUP BY o_date",
@@ -356,8 +342,7 @@ mod tests {
     #[test]
     fn no_match_on_different_joins_or_groups() {
         let cat = catalog();
-        let config =
-            Configuration::from_structures([PhysicalStructure::View(the_view())]);
+        let config = Configuration::from_structures([PhysicalStructure::View(the_view())]);
         // missing join predicate
         assert_eq!(
             plans(&cat, "SELECT o_date, COUNT(*) FROM lineitem, orders GROUP BY o_date", &config),
@@ -386,8 +371,7 @@ mod tests {
     #[test]
     fn filter_on_group_column_ok_others_rejected() {
         let cat = catalog();
-        let config =
-            Configuration::from_structures([PhysicalStructure::View(the_view())]);
+        let config = Configuration::from_structures([PhysicalStructure::View(the_view())]);
         assert_eq!(
             plans(
                 &cat,
@@ -410,8 +394,7 @@ mod tests {
     #[test]
     fn grouped_view_cannot_answer_raw_query() {
         let cat = catalog();
-        let config =
-            Configuration::from_structures([PhysicalStructure::View(the_view())]);
+        let config = Configuration::from_structures([PhysicalStructure::View(the_view())]);
         assert_eq!(
             plans(
                 &cat,
@@ -426,8 +409,7 @@ mod tests {
     fn view_row_estimates() {
         let cat = catalog();
         let config = Configuration::new();
-        let (_b, sizes) =
-            setup(&cat, "SELECT o_date FROM orders", &config);
+        let (_b, sizes) = setup(&cat, "SELECT o_date FROM orders", &config);
         let stats = StatisticsManager::new();
         let ctx = PlanContext {
             estimator: Estimator::new(&stats, "db"),

@@ -88,8 +88,7 @@ fn order_covers_set(order: &[BoundColumn], set: &[BoundColumn]) -> bool {
 /// Does `order` satisfy an ORDER BY list exactly (directions ignored —
 /// reverse scans are free)?
 fn order_satisfies(order: &[BoundColumn], wanted: &[(BoundColumn, bool)]) -> bool {
-    wanted.len() <= order.len()
-        && wanted.iter().zip(order.iter()).all(|((c, _), o)| c == o)
+    wanted.len() <= order.len() && wanted.iter().zip(order.iter()).all(|((c, _), o)| c == o)
 }
 
 /// Plan a SELECT end to end, considering base plans and view rewrites.
@@ -118,9 +117,7 @@ pub fn plan_select(ctx: &PlanContext<'_>, bound: &BoundSelect) -> PlanNode {
             let cols: Vec<(String, BoundColumn)> = bound
                 .group_by
                 .iter()
-                .filter_map(|g| {
-                    bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone()))
-                })
+                .filter_map(|g| bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone())))
                 .collect();
             let groups = ctx.estimator.group_count(&cols, scan_rows);
             let agg = PlanNode::HashAggregate {
@@ -174,14 +171,11 @@ fn finish_select(
             let cols: Vec<(String, BoundColumn)> = bound
                 .group_by
                 .iter()
-                .filter_map(|g| {
-                    bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone()))
-                })
+                .filter_map(|g| bound.table_of(&g.binding).map(|t| (t.to_string(), g.clone())))
                 .collect();
             let groups = ctx.estimator.group_count(&cols, input_rows);
-            let out_width = bound.group_by.len() as f64 * 8.0
-                + bound.aggregates.len() as f64 * 8.0
-                + 9.0;
+            let out_width =
+                bound.group_by.len() as f64 * 8.0 + bound.aggregates.len() as f64 * 8.0 + 9.0;
             let stream_ok = order_covers_set(&order, &bound.group_by);
             if stream_ok {
                 node = PlanNode::StreamAggregate {
@@ -318,9 +312,7 @@ mod tests {
     }
 
     fn sizes() -> FixedSizes {
-        FixedSizes::default()
-            .with_table("db", "t", 1_000_000, 96)
-            .with_table("db", "u", 10_000, 8)
+        FixedSizes::default().with_table("db", "t", 1_000_000, 96).with_table("db", "u", 10_000, 8)
     }
 
     fn cost(sql: &str, config: &Configuration) -> f64 {
@@ -349,15 +341,14 @@ mod tests {
         let covering = Configuration::from_structures([PhysicalStructure::Index(
             Index::non_clustered("db", "t", &["x", "a"], &[]),
         )]);
-        let mv = Configuration::from_structures([PhysicalStructure::View(
-            MaterializedView::grouped(
+        let mv =
+            Configuration::from_structures([PhysicalStructure::View(MaterializedView::grouped(
                 "db",
                 &["t"],
                 vec![],
                 vec![QualifiedColumn::new("t", "a"), QualifiedColumn::new("t", "x")],
                 vec![ViewAggregate::count_star()],
-            ),
-        )]);
+            ))]);
 
         for (name, cfg) in [
             ("clustered(x)", &clustered_x),
@@ -379,15 +370,14 @@ mod tests {
         // exactly (100 tiny rows) beats even a covering index (which must
         // scan all 1M leaf entries)
         let q = "SELECT a, COUNT(*) FROM t GROUP BY a";
-        let exact_mv = Configuration::from_structures([PhysicalStructure::View(
-            MaterializedView::grouped(
+        let exact_mv =
+            Configuration::from_structures([PhysicalStructure::View(MaterializedView::grouped(
                 "db",
                 &["t"],
                 vec![],
                 vec![QualifiedColumn::new("t", "a")],
                 vec![ViewAggregate::count_star()],
-            ),
-        )]);
+            ))]);
         let covering = Configuration::from_structures([PhysicalStructure::Index(
             Index::non_clustered("db", "t", &["a"], &[]),
         )]);
@@ -396,15 +386,14 @@ mod tests {
         // with the selective x filter, a covering (x, a) seek reads ~1% of
         // a narrow index and beats a finer-grained (a, x) view that must
         // be re-aggregated
-        let fine_mv = Configuration::from_structures([PhysicalStructure::View(
-            MaterializedView::grouped(
+        let fine_mv =
+            Configuration::from_structures([PhysicalStructure::View(MaterializedView::grouped(
                 "db",
                 &["t"],
                 vec![],
                 vec![QualifiedColumn::new("t", "a"), QualifiedColumn::new("t", "x")],
                 vec![ViewAggregate::count_star()],
-            ),
-        )]);
+            ))]);
         let covering_seek = Configuration::from_structures([PhysicalStructure::Index(
             Index::non_clustered("db", "t", &["x", "a"], &[]),
         )]);
@@ -487,24 +476,16 @@ mod tests {
         let st = stats();
         let sz = sizes();
         let sql = parse_statement("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a").unwrap();
-        let big = WhatIfOptimizer::new(
-            &cat,
-            &st,
-            &sz,
-            HardwareParams { cpus: 8, memory_bytes: 1 << 30 },
-        )
-        .optimize("db", &sql, &Configuration::new())
-        .unwrap()
-        .cost;
-        let small = WhatIfOptimizer::new(
-            &cat,
-            &st,
-            &sz,
-            HardwareParams { cpus: 1, memory_bytes: 1 << 20 },
-        )
-        .optimize("db", &sql, &Configuration::new())
-        .unwrap()
-        .cost;
+        let big =
+            WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams { cpus: 8, memory_bytes: 1 << 30 })
+                .optimize("db", &sql, &Configuration::new())
+                .unwrap()
+                .cost;
+        let small =
+            WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams { cpus: 1, memory_bytes: 1 << 20 })
+                .optimize("db", &sql, &Configuration::new())
+                .unwrap()
+                .cost;
         assert!(small > big, "small={small} big={big}");
     }
 
@@ -516,9 +497,7 @@ mod tests {
         let opt = WhatIfOptimizer::new(&cat, &st, &sz, HardwareParams::default());
         let ix = Index::non_clustered("db", "t", &["x", "a"], &[]);
         let cfg = Configuration::from_structures([PhysicalStructure::Index(ix.clone())]);
-        let plan = opt
-            .optimize("db", &parse_statement(Q).unwrap(), &cfg)
-            .unwrap();
+        let plan = opt.optimize("db", &parse_statement(Q).unwrap(), &cfg).unwrap();
         assert!(plan.used_structures().contains(&ix.name()));
     }
 

@@ -245,7 +245,10 @@ impl Configuration {
         tables.dedup();
         for (db, t) in tables {
             if self.indexes_on(&db, &t).filter(|i| i.kind == IndexKind::Clustered).count() > 1 {
-                errors.push(ValidityError::MultipleClusterings { database: db.clone(), table: t.clone() });
+                errors.push(ValidityError::MultipleClusterings {
+                    database: db.clone(),
+                    table: t.clone(),
+                });
             }
             let parts = self
                 .structures
@@ -452,12 +455,18 @@ mod tests {
 
     #[test]
     fn union_and_difference() {
-        let a = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("db", "t", &["a"], &[]),
-        )]);
-        let b = Configuration::from_structures([PhysicalStructure::Index(
-            Index::non_clustered("db", "t", &["b"], &[]),
-        )]);
+        let a = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "db",
+            "t",
+            &["a"],
+            &[],
+        ))]);
+        let b = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+            "db",
+            "t",
+            &["b"],
+            &[],
+        ))]);
         let u = a.union(&b);
         assert_eq!(u.len(), 2);
         assert_eq!(u.difference(&a).len(), 1);

@@ -88,10 +88,7 @@ impl Index {
     /// Length of the longest prefix of the key columns found (as a set
     /// prefix) among `sargable`: how many leading keys a seek can use.
     pub fn seekable_prefix_len(&self, sargable: &[String]) -> usize {
-        self.key_columns
-            .iter()
-            .take_while(|k| sargable.iter().any(|s| s == *k))
-            .count()
+        self.key_columns.iter().take_while(|k| sargable.iter().any(|s| s == *k)).count()
     }
 
     /// Descriptive, deterministic name.

@@ -34,11 +34,7 @@ pub enum PhysicalStructure {
     /// A materialized view.
     View(MaterializedView),
     /// Range partitioning of a base table's heap.
-    TablePartitioning {
-        database: String,
-        table: String,
-        scheme: RangePartitioning,
-    },
+    TablePartitioning { database: String, table: String, scheme: RangePartitioning },
 }
 
 impl PhysicalStructure {

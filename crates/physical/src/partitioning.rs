@@ -66,18 +66,12 @@ mod tests {
     use super::*;
 
     fn scheme() -> RangePartitioning {
-        RangePartitioning::new(
-            "d",
-            vec![Value::Int(10), Value::Int(20), Value::Int(30)],
-        )
+        RangePartitioning::new("d", vec![Value::Int(10), Value::Int(20), Value::Int(30)])
     }
 
     #[test]
     fn boundaries_sorted_and_deduped() {
-        let p = RangePartitioning::new(
-            "A",
-            vec![Value::Int(20), Value::Int(10), Value::Int(20)],
-        );
+        let p = RangePartitioning::new("A", vec![Value::Int(20), Value::Int(10), Value::Int(20)]);
         assert_eq!(p.column, "a");
         assert_eq!(p.boundaries, vec![Value::Int(10), Value::Int(20)]);
         assert_eq!(p.partition_count(), 3);

@@ -16,7 +16,10 @@ pub const ROW_LOCATOR_BYTES: u32 = 8;
 pub const ROW_OVERHEAD_BYTES: u32 = 9;
 
 /// Facts needed to size structures, supplied by the hosting server.
-pub trait SizingInfo {
+///
+/// `Sync` so `&dyn SizingInfo` handles can cross the advisor's worker
+/// threads (storage-bound checks run inside parallel enumeration).
+pub trait SizingInfo: Sync {
     /// Logical row count of a base table.
     fn table_rows(&self, database: &str, table: &str) -> u64;
     /// Average width in bytes of a column.
@@ -44,12 +47,10 @@ pub fn index_bytes(ix: &Index, info: &dyn SizingInfo) -> u64 {
         return 0;
     }
     let rows = info.table_rows(&ix.database, &ix.table);
-    let width: u32 = ix
-        .leaf_columns()
-        .map(|c| info.column_width(&ix.database, &ix.table, c))
-        .sum::<u32>()
-        + ROW_LOCATOR_BYTES
-        + ROW_OVERHEAD_BYTES;
+    let width: u32 =
+        ix.leaf_columns().map(|c| info.column_width(&ix.database, &ix.table, c)).sum::<u32>()
+            + ROW_LOCATOR_BYTES
+            + ROW_OVERHEAD_BYTES;
     // ~70% leaf fill factor plus upper B-tree levels
     let leaf = rows.saturating_mul(width as u64);
     leaf + leaf / 3

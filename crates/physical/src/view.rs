@@ -184,12 +184,7 @@ impl MaterializedView {
         if !self.group_by.is_empty() {
             n.push_str("_by_");
             n.push_str(
-                &self
-                    .group_by
-                    .iter()
-                    .map(|c| c.column.clone())
-                    .collect::<Vec<_>>()
-                    .join("_"),
+                &self.group_by.iter().map(|c| c.column.clone()).collect::<Vec<_>>().join("_"),
             );
         }
         if !self.aggregates.is_empty() {
@@ -232,9 +227,7 @@ impl MaterializedView {
         }
         if !self.group_by.is_empty() {
             s.push_str(" GROUP BY ");
-            s.push_str(
-                &self.group_by.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
-            );
+            s.push_str(&self.group_by.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "));
         }
         s
     }
@@ -246,7 +239,7 @@ impl MaterializedView {
         if self.tables.is_empty() {
             return false;
         }
-        let has_table = |qc: &QualifiedColumn| self.tables.iter().any(|t| *t == qc.table);
+        let has_table = |qc: &QualifiedColumn| self.tables.contains(&qc.table);
         let cols_ok = self.join_pairs.iter().all(|j| has_table(&j.left) && has_table(&j.right))
             && self.group_by.iter().all(has_table)
             && self.projected.iter().all(has_table)
@@ -259,11 +252,8 @@ impl MaterializedView {
             return false;
         }
         if let Some(p) = &self.partitioning {
-            let produced = self
-                .group_by
-                .iter()
-                .chain(self.projected.iter())
-                .any(|c| c.column == p.column);
+            let produced =
+                self.group_by.iter().chain(self.projected.iter()).any(|c| c.column == p.column);
             if !produced {
                 return false;
             }

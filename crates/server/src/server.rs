@@ -245,10 +245,15 @@ impl Server {
 
     // ---- metadata scripting ------------------------------------------------
 
-    /// Script out one database's metadata (no data).
+    /// Script out one database's metadata (no data). Logical row counts
+    /// ride along so an importing test server costs queries as production
+    /// would (§5.3).
     pub fn export_metadata(&self, database: &str) -> Result<MetadataScript, ServerError> {
-        let db = self.catalog.database_required(database)?;
-        Ok(MetadataScript::export(db))
+        let mut db = self.catalog.database_required(database)?.clone();
+        for t in db.tables_mut() {
+            t.rows = self.store.table(database, &t.name).map_or(0, |d| d.logical_rows());
+        }
+        Ok(MetadataScript::export(&db))
     }
 
     /// Import a scripted database. Creates empty tables only.
@@ -291,20 +296,19 @@ impl Server {
 
 impl TableStatsProvider for Server {
     fn rows(&self, database: &str, table: &str) -> u64 {
-        // data if we have it; otherwise fall back to imported statistics
-        // (metadata-only test servers, §5.3)
+        // data if we have it; otherwise imported statistics, then scripted
+        // metadata row counts (metadata-only test servers, §5.3)
         if let Some(d) = self.store.table(database, table) {
             if d.rows() > 0 {
                 return d.logical_rows();
             }
         }
-        self.stats
-            .read()
-            .for_table(database, table)
-            .iter()
-            .map(|s| s.row_count)
-            .max()
-            .unwrap_or(0)
+        if let Some(n) =
+            self.stats.read().for_table(database, table).iter().map(|s| s.row_count).max()
+        {
+            return n;
+        }
+        self.catalog.database(database).and_then(|d| d.table(table)).map_or(0, |t| t.rows)
     }
 
     fn row_width(&self, database: &str, table: &str) -> u32 {
@@ -383,7 +387,7 @@ mod tests {
         let server = make_server();
         let key = StatKey::new("shop", "item", &["cat", "price"]);
         assert!(!server.statistics_cover(&key));
-        let report = server.create_statistics(&[key.clone()]);
+        let report = server.create_statistics(std::slice::from_ref(&key));
         assert_eq!(report.created, 1);
         assert!(report.work_units > 0.0);
         assert!(server.statistics_cover(&key));

@@ -76,9 +76,7 @@ impl<'a> TuningTarget<'a> {
     ) -> StatsCreationReport {
         let whatif_server = self.whatif_server();
         let to_create: Vec<StatKey> = if use_reduction {
-            whatif_server
-                .with_statistics(|existing| reduce_statistics(required, existing))
-                .chosen
+            whatif_server.with_statistics(|existing| reduce_statistics(required, existing)).chosen
         } else {
             let mut uncovered: Vec<StatKey> = Vec::new();
             for k in required {
@@ -106,8 +104,7 @@ impl<'a> TuningTarget<'a> {
 /// import metadata of every database (no data), copy existing statistics,
 /// and simulate the production hardware.
 pub fn prepare_test_server(production: &Server, test: &mut Server) -> Result<(), ServerError> {
-    let dbs: Vec<String> =
-        production.catalog().databases().map(|d| d.name.clone()).collect();
+    let dbs: Vec<String> = production.catalog().databases().map(|d| d.name.clone()).collect();
     for db in &dbs {
         let script = production.export_metadata(db)?;
         test.import_metadata(&script)?;
@@ -211,10 +208,7 @@ mod tests {
     fn naive_creates_all_uncovered() {
         let prod = production();
         let target = TuningTarget::Single(&prod);
-        let required = vec![
-            StatKey::new("d", "t", &["a"]),
-            StatKey::new("d", "t", &["a", "b"]),
-        ];
+        let required = vec![StatKey::new("d", "t", &["a"]), StatKey::new("d", "t", &["a", "b"])];
         let report = target.ensure_statistics(&required, false);
         assert_eq!(report.created, 2);
     }

@@ -322,8 +322,7 @@ impl SelectStatement {
     /// True if the query computes aggregates (GROUP BY or aggregate in the
     /// select list).
     pub fn is_aggregate(&self) -> bool {
-        !self.group_by.is_empty()
-            || self.projections.iter().any(|p| p.expr.contains_aggregate())
+        !self.group_by.is_empty() || self.projections.iter().any(|p| p.expr.contains_aggregate())
     }
 }
 
@@ -411,11 +410,8 @@ mod tests {
         let e = Expr::Aggregate { func: AggFunc::Count, distinct: false, arg: None };
         assert!(e.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());
-        let nested = Expr::Binary {
-            left: Box::new(Expr::int(1)),
-            op: BinaryOp::Add,
-            right: Box::new(e),
-        };
+        let nested =
+            Expr::Binary { left: Box::new(Expr::int(1)), op: BinaryOp::Add, right: Box::new(e) };
         assert!(nested.contains_aggregate());
     }
 

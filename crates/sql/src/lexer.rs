@@ -199,9 +199,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = input[start..i].to_ascii_lowercase();
@@ -326,21 +324,13 @@ mod tests {
     fn numbers() {
         assert_eq!(
             kinds("1 2.5 007"),
-            vec![
-                TokenKind::Int(1),
-                TokenKind::Float(2.5),
-                TokenKind::Int(7),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Int(1), TokenKind::Float(2.5), TokenKind::Int(7), TokenKind::Eof]
         );
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
     }
 
     #[test]

@@ -158,8 +158,8 @@ impl Parser {
 
     fn select(&mut self) -> Result<SelectStatement> {
         self.expect_kw(Kw::Select)?;
-        let mut stmt = SelectStatement::default();
-        stmt.distinct = self.eat_kw(Kw::Distinct);
+        let mut stmt =
+            SelectStatement { distinct: self.eat_kw(Kw::Distinct), ..Default::default() };
         if self.eat_kw(Kw::Top) {
             match self.advance() {
                 TokenKind::Int(n) if n >= 0 => stmt.top = Some(n as u64),
@@ -172,9 +172,7 @@ impl Parser {
         } else {
             loop {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw(Kw::As) {
-                    Some(self.ident()?)
-                } else if matches!(self.peek(), TokenKind::Ident(_)) {
+                let alias = if self.eat_kw(Kw::As) || matches!(self.peek(), TokenKind::Ident(_)) {
                     Some(self.ident()?)
                 } else {
                     None
@@ -251,9 +249,7 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let name = self.ident()?;
-        let alias = if self.eat_kw(Kw::As) {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), TokenKind::Ident(_)) {
+        let alias = if self.eat_kw(Kw::As) || matches!(self.peek(), TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None
@@ -363,7 +359,9 @@ impl Parser {
         let negated = if self.check_kw(Kw::Not)
             && matches!(
                 self.peek2(),
-                TokenKind::Keyword(Kw::Between) | TokenKind::Keyword(Kw::In) | TokenKind::Keyword(Kw::Like)
+                TokenKind::Keyword(Kw::Between)
+                    | TokenKind::Keyword(Kw::In)
+                    | TokenKind::Keyword(Kw::Like)
             ) {
             self.advance();
             true
@@ -575,10 +573,7 @@ mod tests {
         assert_eq!(s.group_by.len(), 1);
         assert!(s.is_aggregate());
         let pred = s.predicate.unwrap();
-        assert_eq!(
-            pred,
-            Expr::col("x").cmp(BinaryOp::Lt, Expr::int(10))
-        );
+        assert_eq!(pred, Expr::col("x").cmp(BinaryOp::Lt, Expr::int(10)));
     }
 
     #[test]
@@ -605,9 +600,7 @@ mod tests {
 
     #[test]
     fn between_in_like() {
-        let s = sel(
-            "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3) AND c LIKE 'abc'",
-        );
+        let s = sel("SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3) AND c LIKE 'abc'");
         let conj: Vec<_> = s.predicate.as_ref().unwrap().conjuncts().into_iter().cloned().collect();
         assert_eq!(conj.len(), 3);
         assert!(matches!(conj[0], Expr::Between { .. }));
@@ -630,10 +623,7 @@ mod tests {
     fn aggregates() {
         let s = sel("SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(w), COUNT(DISTINCT v) FROM t");
         assert_eq!(s.projections.len(), 6);
-        assert!(matches!(
-            s.projections[5].expr,
-            Expr::Aggregate { distinct: true, .. }
-        ));
+        assert!(matches!(s.projections[5].expr, Expr::Aggregate { distinct: true, .. }));
     }
 
     #[test]
@@ -711,8 +701,7 @@ mod tests {
     #[test]
     fn negative_literals_folded() {
         let s = sel("SELECT a FROM t WHERE x > -5 AND y < -2.5");
-        let parts: Vec<Expr> =
-            s.predicate.unwrap().conjuncts().into_iter().cloned().collect();
+        let parts: Vec<Expr> = s.predicate.unwrap().conjuncts().into_iter().cloned().collect();
         assert_eq!(parts[0], Expr::col("x").cmp(BinaryOp::Gt, Expr::int(-5)));
     }
 

@@ -170,26 +170,14 @@ mod tests {
 
     #[test]
     fn same_template_same_signature() {
-        assert_eq!(
-            sig("SELECT a FROM t WHERE x < 10"),
-            sig("SELECT a FROM t WHERE x < 99")
-        );
-        assert_eq!(
-            sig("SELECT a FROM t WHERE s = 'foo'"),
-            sig("SELECT a FROM t WHERE s = 'bar'")
-        );
+        assert_eq!(sig("SELECT a FROM t WHERE x < 10"), sig("SELECT a FROM t WHERE x < 99"));
+        assert_eq!(sig("SELECT a FROM t WHERE s = 'foo'"), sig("SELECT a FROM t WHERE s = 'bar'"));
     }
 
     #[test]
     fn different_structure_different_signature() {
-        assert_ne!(
-            sig("SELECT a FROM t WHERE x < 10"),
-            sig("SELECT a FROM t WHERE x > 10")
-        );
-        assert_ne!(
-            sig("SELECT a FROM t WHERE x < 10"),
-            sig("SELECT b FROM t WHERE x < 10")
-        );
+        assert_ne!(sig("SELECT a FROM t WHERE x < 10"), sig("SELECT a FROM t WHERE x > 10"));
+        assert_ne!(sig("SELECT a FROM t WHERE x < 10"), sig("SELECT b FROM t WHERE x < 10"));
         assert_ne!(sig("SELECT a FROM t"), sig("SELECT a FROM u"));
     }
 
@@ -203,22 +191,13 @@ mod tests {
 
     #[test]
     fn insert_rows_collapse() {
-        assert_eq!(
-            sig("INSERT INTO t VALUES (1, 2)"),
-            sig("INSERT INTO t VALUES (3, 4), (5, 6)")
-        );
+        assert_eq!(sig("INSERT INTO t VALUES (1, 2)"), sig("INSERT INTO t VALUES (3, 4), (5, 6)"));
     }
 
     #[test]
     fn dml_signatures() {
-        assert_eq!(
-            sig("UPDATE t SET a = 5 WHERE k = 1"),
-            sig("UPDATE t SET a = 9 WHERE k = 3")
-        );
-        assert_ne!(
-            sig("UPDATE t SET a = 5 WHERE k = 1"),
-            sig("UPDATE t SET b = 5 WHERE k = 1")
-        );
+        assert_eq!(sig("UPDATE t SET a = 5 WHERE k = 1"), sig("UPDATE t SET a = 9 WHERE k = 3"));
+        assert_ne!(sig("UPDATE t SET a = 5 WHERE k = 1"), sig("UPDATE t SET b = 5 WHERE k = 1"));
     }
 
     #[test]

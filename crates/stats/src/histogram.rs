@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn equality_estimates() {
-        let h = Histogram::build(ints((0..100).flat_map(|i| std::iter::repeat(i).take(10))));
+        let h = Histogram::build(ints((0..100).flat_map(|i| std::iter::repeat_n(i, 10))));
         // 1000 rows, 100 distinct -> eq sel ~ 1/100
         let s = h.selectivity_eq(&Value::Int(42));
         assert!((s - 0.01).abs() < 0.01, "sel={s}");
@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn nulls_tracked() {
         let mut vals = ints(0..90);
-        vals.extend(std::iter::repeat(Value::Null).take(10));
+        vals.extend(std::iter::repeat_n(Value::Null, 10));
         let h = Histogram::build(vals);
         assert!((h.null_fraction() - 0.1).abs() < 1e-9);
         assert!((h.selectivity_eq(&Value::Null) - 0.1).abs() < 1e-9);
@@ -323,7 +323,7 @@ mod tests {
     #[test]
     fn skewed_data_distinct_counts() {
         // one heavy value + tail
-        let mut vals = ints(std::iter::repeat(7).take(900));
+        let mut vals = ints(std::iter::repeat_n(7, 900));
         vals.extend(ints(0..100));
         let h = Histogram::build(vals);
         let heavy = h.selectivity_eq(&Value::Int(7));
@@ -340,8 +340,10 @@ mod tests {
 
     #[test]
     fn string_histograms() {
-        let vals: Vec<Value> =
-            ["apple", "banana", "cherry", "date", "fig", "grape"].iter().map(|s| Value::Str(s.to_string())).collect();
+        let vals: Vec<Value> = ["apple", "banana", "cherry", "date", "fig", "grape"]
+            .iter()
+            .map(|s| Value::Str(s.to_string()))
+            .collect();
         let h = Histogram::build(vals);
         let s = h.selectivity_lt(&Value::Str("d".into()), false);
         assert!(s > 0.2 && s < 0.9, "sel={s}");
@@ -359,7 +361,7 @@ mod tests {
     fn duplicates_do_not_straddle_buckets() {
         // a value with huge frequency must land in a single bucket
         let mut vals = ints(0..300);
-        vals.extend(ints(std::iter::repeat(150).take(500)));
+        vals.extend(ints(std::iter::repeat_n(150, 500)));
         let h = Histogram::build(vals);
         let s = h.selectivity_eq(&Value::Int(150));
         assert!(s > 0.4, "sel={s}");

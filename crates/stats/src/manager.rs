@@ -27,10 +27,8 @@ impl StatisticsManager {
 
     /// Add (or replace) a statistic.
     pub fn add(&mut self, stat: Statistic) {
-        let slot = self
-            .by_table
-            .entry((stat.key.database.clone(), stat.key.table.clone()))
-            .or_default();
+        let slot =
+            self.by_table.entry((stat.key.database.clone(), stat.key.table.clone())).or_default();
         if let Some(existing) = slot.iter_mut().find(|s| s.key == stat.key) {
             *existing = stat;
         } else {
@@ -155,9 +153,7 @@ mod tests {
     fn stat(cols: &[&str], densities: &[f64]) -> Statistic {
         Statistic {
             key: StatKey::new("db", "t", cols),
-            histogram: Histogram::build(
-                (0..10).map(dta_catalog::Value::Int).collect(),
-            ),
+            histogram: Histogram::build((0..10).map(dta_catalog::Value::Int).collect()),
             densities: densities.to_vec(),
             row_count: 10,
             sample_rows: 10,

@@ -69,10 +69,7 @@ fn d_entries(key: &StatKey) -> Vec<DEntry> {
 /// Run the §5.2 greedy reduction over `required`, consulting `existing`
 /// so that statistics whose information the server already holds are not
 /// re-created at all.
-pub fn reduce_statistics(
-    required: &[StatKey],
-    existing: &StatisticsManager,
-) -> ReductionOutcome {
+pub fn reduce_statistics(required: &[StatKey], existing: &StatisticsManager) -> ReductionOutcome {
     // de-duplicate requests while preserving order
     let mut requested: Vec<StatKey> = Vec::new();
     for k in required {
@@ -194,10 +191,7 @@ mod tests {
 
     #[test]
     fn distinct_tables_do_not_interfere() {
-        let required = vec![
-            StatKey::new("db", "t1", &["a"]),
-            StatKey::new("db", "t2", &["a"]),
-        ];
+        let required = vec![StatKey::new("db", "t1", &["a"]), StatKey::new("db", "t2", &["a"])];
         let out = reduce_statistics(&required, &StatisticsManager::new());
         assert_eq!(out.chosen.len(), 2);
     }
@@ -220,13 +214,8 @@ mod tests {
     #[test]
     fn chosen_covers_everything() {
         // property: whatever is chosen must cover every requirement
-        let required = vec![
-            key(&["a", "b"]),
-            key(&["b", "c"]),
-            key(&["c"]),
-            key(&["d", "a"]),
-            key(&["b"]),
-        ];
+        let required =
+            vec![key(&["a", "b"]), key(&["b", "c"]), key(&["c"]), key(&["d", "a"]), key(&["b"])];
         let out = reduce_statistics(&required, &StatisticsManager::new());
         let mut h: BTreeSet<_> = BTreeSet::new();
         let mut d: BTreeSet<_> = BTreeSet::new();

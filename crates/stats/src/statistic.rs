@@ -94,8 +94,7 @@ pub fn build_statistic(
     rng: &mut impl rand::Rng,
     work: &WorkCounter,
 ) -> Statistic {
-    let col_idx: Vec<Option<usize>> =
-        key.columns.iter().map(|c| data.column_index(c)).collect();
+    let col_idx: Vec<Option<usize>> = key.columns.iter().map(|c| data.column_index(c)).collect();
     let (rows, pages) = data.sample_rows_by_page(sample_fraction, rng);
     work.read_pages(pages);
     work.cpu(rows.len() as u64);
@@ -150,8 +149,8 @@ mod tests {
         let mut d = TableData::new(&t);
         for i in 0..2000i64 {
             d.push_row(vec![
-                Value::Int(i % 100),         // 100 distinct
-                Value::Int(i % 10),          // 10 distinct
+                Value::Int(i % 100),               // 100 distinct
+                Value::Int(i % 10),                // 10 distinct
                 Value::Str(format!("s{}", i % 4)), // 4 distinct
             ]);
         }

@@ -144,11 +144,7 @@ impl TableData {
     /// returns the indexes of all rows on those pages, mirroring how
     /// `CREATE STATISTICS ... WITH SAMPLE` reads whole pages. Returns the
     /// number of pages touched alongside the row indexes.
-    pub fn sample_rows_by_page<R: Rng>(
-        &self,
-        fraction: f64,
-        rng: &mut R,
-    ) -> (Vec<usize>, u64) {
+    pub fn sample_rows_by_page<R: Rng>(&self, fraction: f64, rng: &mut R) -> (Vec<usize>, u64) {
         let rows = self.rows();
         if rows == 0 {
             return (Vec::new(), 0);
@@ -218,10 +214,7 @@ mod tests {
     fn table() -> Table {
         Table::new(
             "t",
-            vec![
-                Column::new("a", ColumnType::Int),
-                Column::new("b", ColumnType::Str(20)),
-            ],
+            vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Str(20))],
         )
     }
 
@@ -282,7 +275,7 @@ mod tests {
         let d = filled(3000); // 24B rows -> 341 rows/page -> 9 pages
         let mut rng = StdRng::seed_from_u64(7);
         let (rows, pages) = d.sample_rows_by_page(0.3, &mut rng);
-        assert!(pages >= 1 && pages <= 9, "pages={pages}");
+        assert!((1..=9).contains(&pages), "pages={pages}");
         assert!(!rows.is_empty());
         // all sampled indexes valid & unique
         let mut sorted = rows.clone();

@@ -90,11 +90,7 @@ pub fn compress(workload: &Workload, options: CompressionOptions) -> Compression
 
 /// k-center clustering on normalized parameter vectors; each medoid is
 /// returned with the total weight of its cluster.
-fn cluster_representatives(
-    workload: &Workload,
-    members: &[usize],
-    k: usize,
-) -> Vec<WorkloadItem> {
+fn cluster_representatives(workload: &Workload, members: &[usize], k: usize) -> Vec<WorkloadItem> {
     let vectors: Vec<Vec<f64>> =
         members.iter().map(|&i| parameter_vector(&workload.items[i].statement)).collect();
     let dims = vectors.iter().map(Vec::len).max().unwrap_or(0);
@@ -125,14 +121,11 @@ fn cluster_representatives(
     let seed = members
         .iter()
         .enumerate()
-        .max_by(|(_, &a), (_, &b)| {
-            workload.items[a].weight.total_cmp(&workload.items[b].weight)
-        })
+        .max_by(|(_, &a), (_, &b)| workload.items[a].weight.total_cmp(&workload.items[b].weight))
         .map(|(pos, _)| pos)
         .expect("non-empty partition");
     let mut medoids = vec![seed];
-    let mut nearest: Vec<f64> =
-        vectors.iter().map(|v| dist(v, &vectors[seed])).collect();
+    let mut nearest: Vec<f64> = vectors.iter().map(|v| dist(v, &vectors[seed])).collect();
     while medoids.len() < k {
         let (far, far_d) = nearest
             .iter()
@@ -275,18 +268,14 @@ mod tests {
         // one template whose constants form two far-apart clusters: the
         // representatives should cover both
         let mut items = Vec::new();
-        for v in (0..50).map(|i| i).chain((0..50).map(|i| 100_000 + i)) {
+        for v in (0..50).chain((0..50).map(|i| 100_000 + i)) {
             let sql = format!("SELECT a FROM t WHERE k < {v}");
             items.push(WorkloadItem::new("db", parse_statement(&sql).unwrap()));
         }
         let w = Workload::from_items(items);
         let out = compress(&w, CompressionOptions::default());
-        let params: Vec<f64> = out
-            .compressed
-            .items
-            .iter()
-            .map(|i| parameter_vector(&i.statement)[0])
-            .collect();
+        let params: Vec<f64> =
+            out.compressed.items.iter().map(|i| parameter_vector(&i.statement)[0]).collect();
         assert!(params.iter().any(|&p| p < 1000.0));
         assert!(params.iter().any(|&p| p > 99_000.0));
     }
@@ -316,7 +305,10 @@ mod tests {
     fn identical_items_collapse_to_one() {
         let mut items = Vec::new();
         for _ in 0..100 {
-            items.push(WorkloadItem::new("db", parse_statement("SELECT a FROM t WHERE k < 5").unwrap()));
+            items.push(WorkloadItem::new(
+                "db",
+                parse_statement("SELECT a FROM t WHERE k < 5").unwrap(),
+            ));
         }
         let w = Workload::from_items(items);
         let out = compress(&w, CompressionOptions::default());

@@ -208,9 +208,7 @@ pub fn build(id: CustId, events_fraction: f64, seed: u64) -> Benchmark {
             let hot = t < sh.hot_per_db;
             let name = format!("t{:03}", t);
             let spec = if hot {
-                TableSpec::new(&name, sh.hot_rows)
-                    .scale(sh.hot_scale)
-                    .distincts(sh.distinct_a, 20)
+                TableSpec::new(&name, sh.hot_rows).scale(sh.hot_scale).distincts(sh.distinct_a, 20)
             } else {
                 // cold tables: tiny, give the catalog its realistic bulk
                 TableSpec::new(&name, 32).distincts(8, 2).pad(40)
@@ -232,9 +230,7 @@ pub fn build(id: CustId, events_fraction: f64, seed: u64) -> Benchmark {
             match id {
                 // CUST3's "dead" statements are PK lookups the raw design
                 // already answers optimally
-                CustId::Cust3 => {
-                    Template::PkLookup { db, table, rows: sh.hot_rows as i64 }
-                }
+                CustId::Cust3 => Template::PkLookup { db, table, rows: sh.hot_rows as i64 },
                 _ => Template::DeadScan { db, table },
             }
         } else {

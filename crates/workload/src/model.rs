@@ -48,10 +48,7 @@ impl Workload {
     /// database, weight 1 each.
     pub fn from_sql_file(database: &str, sql: &str) -> Result<Self, ParseError> {
         Ok(Self {
-            items: parse_script(sql)?
-                .into_iter()
-                .map(|s| WorkloadItem::new(database, s))
-                .collect(),
+            items: parse_script(sql)?.into_iter().map(|s| WorkloadItem::new(database, s)).collect(),
         })
     }
 
@@ -76,12 +73,7 @@ impl Workload {
         if total == 0.0 {
             return 0.0;
         }
-        self.items
-            .iter()
-            .filter(|i| i.statement.is_update())
-            .map(|i| i.weight)
-            .sum::<f64>()
-            / total
+        self.items.iter().filter(|i| i.statement.is_update()).map(|i| i.weight).sum::<f64>() / total
     }
 
     /// Databases referenced, sorted and de-duplicated.
@@ -151,10 +143,8 @@ mod tests {
     fn trace_roundtrip() {
         let mut w = Workload::from_sql_file("db1", "SELECT a FROM t WHERE x < 10;").unwrap();
         w.items[0].weight = 42.0;
-        w.items.push(WorkloadItem::new(
-            "db2",
-            dta_sql::parse_statement("SELECT b FROM u").unwrap(),
-        ));
+        w.items
+            .push(WorkloadItem::new("db2", dta_sql::parse_statement("SELECT b FROM u").unwrap()));
         let trace = w.to_trace();
         let back = Workload::from_trace(&trace).unwrap();
         assert_eq!(w, back);

@@ -12,6 +12,9 @@ use dta_sql::parse_statement;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A parameterized statement generator.
+type Template = Box<dyn Fn(&mut StdRng) -> String>;
+
 /// Database name.
 pub const DB: &str = "psoft";
 
@@ -39,7 +42,7 @@ pub fn build(events_fraction: f64, seed: u64) -> Benchmark {
 
     // ~55 templates over the hot tables: the stored-procedure feel
     let hot: Vec<&TableSpec> = specs.iter().take(8).collect();
-    let mut templates: Vec<Box<dyn Fn(&mut StdRng) -> String>> = Vec::new();
+    let mut templates: Vec<Template> = Vec::new();
     for (i, spec) in hot.iter().enumerate() {
         let t = spec.name.clone();
         let rows = spec.rows as i64;

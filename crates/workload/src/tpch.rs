@@ -93,16 +93,14 @@ const NATIONS: [(&str, usize); 25] = [
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const TYPE_A: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_B: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_C: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONT_A: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 const CONT_B: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
-const COLORS: [&str; 10] = [
-    "green", "blue", "red", "yellow", "ivory", "azure", "black", "coral", "misty", "plum",
-];
+const COLORS: [&str; 10] =
+    ["green", "blue", "red", "yellow", "ivory", "azure", "black", "coral", "misty", "plum"];
 
 /// Days-since-1992-01-01 → ISO date string (proleptic Gregorian).
 pub fn date_string(days_since_1992: i64) -> String {
@@ -118,20 +116,7 @@ pub fn date_string(days_since_1992: i64) -> String {
         year += 1;
     }
     let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
-    let months = [
-        31,
-        if leap { 29 } else { 28 },
-        31,
-        30,
-        31,
-        30,
-        31,
-        31,
-        30,
-        31,
-        30,
-        31,
-    ];
+    let months = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
     let mut month = 0usize;
     while d >= months[month] {
         d -= months[month];
@@ -495,9 +480,11 @@ pub fn workload() -> Workload {
         queries()
             .into_iter()
             .map(|q| {
-                WorkloadItem::new(DB, parse_statement(q).unwrap_or_else(|e| {
-                    panic!("TPC-H query failed to parse: {e}\n{q}")
-                }))
+                WorkloadItem::new(
+                    DB,
+                    parse_statement(q)
+                        .unwrap_or_else(|e| panic!("TPC-H query failed to parse: {e}\n{q}")),
+                )
             })
             .collect(),
     )

@@ -134,10 +134,7 @@ fn write_structure(w: &mut XmlWriter, s: &PhysicalStructure) {
             for jp in &v.join_pairs {
                 w.leaf(
                     "Join",
-                    &[
-                        ("left", &format!("{}", jp.left)),
-                        ("right", &format!("{}", jp.right)),
-                    ],
+                    &[("left", &format!("{}", jp.left)), ("right", &format!("{}", jp.right))],
                 );
             }
             for g in &v.group_by {
@@ -323,11 +320,8 @@ pub fn workload_from_xml(text: &str) -> Result<Workload, SchemaError> {
     let mut items = Vec::new();
     for s in root.children_named("Statement") {
         let database = s.require_attr("database")?;
-        let weight: f64 = s
-            .attr("weight")
-            .unwrap_or("1")
-            .parse()
-            .map_err(|_| invalid("bad weight"))?;
+        let weight: f64 =
+            s.attr("weight").unwrap_or("1").parse().map_err(|_| invalid("bad weight"))?;
         let stmt = dta_sql::parse_statement(&s.text)
             .map_err(|e| invalid(format!("statement does not parse: {e}")))?;
         items.push(WorkloadItem::weighted(database, stmt, weight));
@@ -490,26 +484,21 @@ mod tests {
                 table: "t".into(),
                 scheme: RangePartitioning::new("a", vec![Value::Int(10)]),
             },
-            PhysicalStructure::View(
-                MaterializedView::grouped(
-                    "db",
-                    &["t", "u"],
-                    vec![JoinPair::new(
-                        QualifiedColumn::new("t", "k"),
-                        QualifiedColumn::new("u", "k"),
-                    )],
-                    vec![QualifiedColumn::new("t", "a")],
-                    vec![
-                        ViewAggregate::count_star(),
-                        ViewAggregate::column(AggFunc::Sum, QualifiedColumn::new("u", "v")),
-                        ViewAggregate::expr(
-                            AggFunc::Sum,
-                            "u.v * (1 - t.a)",
-                            vec![QualifiedColumn::new("u", "v"), QualifiedColumn::new("t", "a")],
-                        ),
-                    ],
-                ),
-            ),
+            PhysicalStructure::View(MaterializedView::grouped(
+                "db",
+                &["t", "u"],
+                vec![JoinPair::new(QualifiedColumn::new("t", "k"), QualifiedColumn::new("u", "k"))],
+                vec![QualifiedColumn::new("t", "a")],
+                vec![
+                    ViewAggregate::count_star(),
+                    ViewAggregate::column(AggFunc::Sum, QualifiedColumn::new("u", "v")),
+                    ViewAggregate::expr(
+                        AggFunc::Sum,
+                        "u.v * (1 - t.a)",
+                        vec![QualifiedColumn::new("u", "v"), QualifiedColumn::new("t", "a")],
+                    ),
+                ],
+            )),
         ])
     }
 

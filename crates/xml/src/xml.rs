@@ -121,7 +121,10 @@ pub struct XmlWriter {
 impl XmlWriter {
     /// New writer with the XML declaration.
     pub fn new() -> Self {
-        Self { buf: "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n".to_string(), ..Default::default() }
+        Self {
+            buf: "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n".to_string(),
+            ..Default::default()
+        }
     }
 
     fn indent(&mut self) {
@@ -175,7 +178,7 @@ impl XmlWriter {
         for (k, v) in attrs {
             let _ = write!(self.buf, " {k}=\"{}\"", escape(v));
         }
-        let _ = write!(self.buf, ">{}</{name}>\n", escape(text));
+        let _ = writeln!(self.buf, ">{}</{name}>", escape(text));
         self
     }
 
@@ -184,7 +187,7 @@ impl XmlWriter {
         let name = self.stack.pop().expect("close without open");
         self.had_children.pop();
         self.indent();
-        let _ = write!(self.buf, "</{name}>\n");
+        let _ = writeln!(self.buf, "</{name}>");
         self
     }
 
@@ -296,7 +299,9 @@ impl<'a> Parser<'a> {
                     let attr_name = self.name()?;
                     self.skip_ws();
                     if self.peek() != Some(b'=') {
-                        return Err(XmlError::new(format!("expected '=' after attribute '{attr_name}'")));
+                        return Err(XmlError::new(format!(
+                            "expected '=' after attribute '{attr_name}'"
+                        )));
                     }
                     self.pos += 1;
                     self.skip_ws();

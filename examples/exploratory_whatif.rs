@@ -80,7 +80,7 @@ fn main() {
             result.recommendation.len()
         );
         let cost = result.recommended_cost;
-        if best.as_ref().map_or(true, |(_, _, c)| cost < *c) {
+        if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
             best = Some((name, result.recommendation, cost));
         }
     }

@@ -34,7 +34,7 @@ fn main() {
     println!(
         "test server prepared: {} tables imported, {} bytes of data copied",
         test.catalog().database("tpch").unwrap().table_count(),
-        test.store().table("tpch", "lineitem").unwrap().rows() * 0 // literally zero
+        test.total_data_bytes() // metadata + statistics only: zero data pages
     );
 
     // ---- tune via the test server --------------------------------------

@@ -19,10 +19,7 @@ fn main() {
 
     // storage bound: three times the raw data size (§7.2)
     let storage = server.total_data_bytes() * 3;
-    let options = TuningOptions {
-        storage_bytes: Some(storage),
-        ..Default::default()
-    };
+    let options = TuningOptions { storage_bytes: Some(storage), ..Default::default() };
 
     println!("tuning the 22-query workload...");
     let target = TuningTarget::Single(&server);
@@ -51,6 +48,9 @@ fn main() {
 
     let actual = (1.0 - tuned_work / raw_work) * 100.0;
     println!("\n=== TPC-H summary (paper §7.2: expected 88%, actual 83%) ===");
-    println!("expected improvement (optimizer-estimated): {:.1}%", result.expected_improvement() * 100.0);
+    println!(
+        "expected improvement (optimizer-estimated): {:.1}%",
+        result.expected_improvement() * 100.0
+    );
     println!("actual improvement (execution work):        {actual:.1}%");
 }

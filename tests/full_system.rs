@@ -13,11 +13,8 @@ fn tpch_tune_deploy_execute() {
     let target = TuningTarget::Single(&server);
 
     let storage = server.total_data_bytes() * 3;
-    let options = TuningOptions {
-        storage_bytes: Some(storage),
-        parallel_workers: 2,
-        ..Default::default()
-    };
+    let options =
+        TuningOptions { storage_bytes: Some(storage), parallel_workers: 2, ..Default::default() };
     let result = tune(&target, &workload, &options).expect("TPC-H tunes");
 
     assert!(
@@ -77,11 +74,7 @@ fn multi_database_tuning() {
         server.create_database(db).unwrap();
         let data = server.table_data_mut(dbname, "t").unwrap();
         for i in 0..20_000i64 {
-            data.push_row(vec![
-                Value::Int(i),
-                Value::Int(i % 500),
-                Value::Str(format!("{i:050}")),
-            ]);
+            data.push_row(vec![Value::Int(i), Value::Int(i % 500), Value::Str(format!("{i:050}"))]);
         }
         data.set_scale(20.0);
     }
@@ -116,14 +109,9 @@ fn itw_vs_dta_shapes_hold() {
     let bench = dta::workload::synt1::build(0.08, 3); // 640 statements
     let target = TuningTarget::Single(&bench.server);
     bench.server.reset_overhead();
-    let dta_result = tune(
-        &target,
-        &bench.workload,
-        &TuningOptions { ..Default::default() },
-    )
-    .unwrap();
-    let itw_result =
-        dta::baselines::tune_itw(&target, &bench.workload, None).unwrap();
+    let dta_result =
+        tune(&target, &bench.workload, &TuningOptions { ..Default::default() }).unwrap();
+    let itw_result = dta::baselines::tune_itw(&target, &bench.workload, None).unwrap();
 
     assert!(
         dta_result.tuning_work_units < itw_result.tuning_work_units,
@@ -139,8 +127,5 @@ fn itw_vs_dta_shapes_hold() {
     };
     let dq = q(&dta_result.recommendation);
     let iq = q(&itw_result.recommendation);
-    assert!(
-        dq >= iq - 0.08,
-        "DTA quality {dq:.3} fell too far below ITW {iq:.3}"
-    );
+    assert!(dq >= iq - 0.08, "DTA quality {dq:.3} fell too far below ITW {iq:.3}");
 }

@@ -64,9 +64,12 @@ fn what_if_costs_identical_after_import() {
     let mut test = Server::new("test");
     prepare_test_server(&production, &mut test).unwrap();
 
-    let config = Configuration::from_structures([PhysicalStructure::Index(
-        Index::non_clustered("tpch", "lineitem", &["l_shipdate"], &["l_extendedprice", "l_discount", "l_quantity"]),
-    )]);
+    let config = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
+        "tpch",
+        "lineitem",
+        &["l_shipdate"],
+        &["l_extendedprice", "l_discount", "l_quantity"],
+    ))]);
     for item in tpch::workload().items.iter().take(8) {
         let p = production.whatif(&item.database, &item.statement, &config).unwrap();
         let t = test.whatif(&item.database, &item.statement, &config).unwrap();

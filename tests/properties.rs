@@ -1,64 +1,78 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-style tests on cross-crate invariants.
+//!
+//! `proptest` is unavailable offline, so each property is checked over a
+//! few hundred seeded-random cases generated with the in-tree `rand`
+//! shim — same invariants, deterministic inputs.
 
 use dta::prelude::*;
 use dta::sql::{parse_statement, signature};
 use dta::stats::Histogram;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 300;
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// A generator of well-formed SELECT statements in the dialect.
+fn arb_select(rng: &mut StdRng) -> String {
+    let idents = ["a", "b", "c", "x", "y"];
+    let tables = ["t", "u", "orders"];
+    let cmps = ["=", "<", "<=", ">", ">=", "<>"];
+    let table = pick(rng, &tables);
+    let cols: Vec<&str> = (0..rng.gen_range(1..4usize)).map(|_| pick(rng, &idents)).collect();
+
+    if rng.gen_bool(0.3) {
+        // grouped variant
+        let g = pick(rng, &idents);
+        return format!("SELECT {g}, COUNT(*) FROM {table} GROUP BY {g}");
+    }
+    let mut sql = String::from("SELECT ");
+    if rng.gen_bool(0.5) {
+        sql.push_str("DISTINCT ");
+    }
+    sql.push_str(&cols.join(", "));
+    sql.push_str(&format!(" FROM {table}"));
+    if rng.gen_bool(0.5) {
+        let c = pick(rng, &idents);
+        let op = pick(rng, &cmps);
+        let v = rng.gen_range(-1000i64..1000);
+        sql.push_str(&format!(" WHERE {c} {op} {v}"));
+    }
+    if rng.gen_bool(0.5) {
+        let o = pick(rng, &idents);
+        sql.push_str(&format!(" ORDER BY {o}"));
+    }
+    sql
+}
 
 // ---- SQL: parse → print → parse is the identity -------------------------
 
-/// A generator of well-formed SELECT statements in the dialect.
-fn arb_select() -> impl Strategy<Value = String> {
-    let ident = prop::sample::select(vec!["a", "b", "c", "x", "y"]);
-    let table = prop::sample::select(vec!["t", "u", "orders"]);
-    let cmp = prop::sample::select(vec!["=", "<", "<=", ">", ">=", "<>"]);
-    (
-        prop::collection::vec(ident.clone(), 1..4),
-        table,
-        prop::option::of((ident.clone(), cmp, -1000i64..1000)),
-        prop::option::of(ident.clone()),
-        prop::option::of(ident),
-        any::<bool>(),
-    )
-        .prop_map(|(cols, table, pred, group, order, distinct)| {
-            let mut sql = String::from("SELECT ");
-            if distinct {
-                sql.push_str("DISTINCT ");
-            }
-            sql.push_str(&cols.join(", "));
-            sql.push_str(&format!(" FROM {table}"));
-            if let Some((c, op, v)) = pred {
-                sql.push_str(&format!(" WHERE {c} {op} {v}"));
-            }
-            if let Some(g) = group {
-                // grouped variant replaces the whole statement
-                sql = format!("SELECT {g}, COUNT(*) FROM {table} GROUP BY {g}");
-            }
-            if let Some(o) = order {
-                if !sql.contains("GROUP BY") {
-                    sql.push_str(&format!(" ORDER BY {o}"));
-                }
-            }
-            sql
-        })
-}
-
-proptest! {
-    #[test]
-    fn sql_roundtrip(sql in arb_select()) {
+#[test]
+fn sql_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD7A0);
+    for _ in 0..CASES {
+        let sql = arb_select(&mut rng);
         let stmt = parse_statement(&sql).expect("generated SQL parses");
         let printed = stmt.to_string();
         let reparsed = parse_statement(&printed).expect("printed SQL parses");
-        prop_assert_eq!(&stmt, &reparsed);
+        assert_eq!(stmt, reparsed, "round trip changed {sql:?}");
         // and signatures are stable across the round trip
-        prop_assert_eq!(signature(&stmt), signature(&reparsed));
+        assert_eq!(signature(&stmt), signature(&reparsed));
     }
+}
 
-    #[test]
-    fn histogram_selectivities_are_probabilities(
-        values in prop::collection::vec(-10_000i64..10_000, 0..500),
-        probe in -12_000i64..12_000,
-    ) {
+// ---- histograms ----------------------------------------------------------
+
+#[test]
+fn histogram_selectivities_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0xD7A1);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..500usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-10_000i64..10_000)).collect();
+        let probe = rng.gen_range(-12_000i64..12_000);
         let h = Histogram::build(values.iter().copied().map(Value::Int).collect());
         let v = Value::Int(probe);
         for s in [
@@ -68,69 +82,86 @@ proptest! {
             h.selectivity_gt(&v, false),
             h.selectivity_gt(&v, true),
         ] {
-            prop_assert!((0.0..=1.0).contains(&s), "selectivity {} out of range", s);
+            assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
         }
         // lt + gt partition the non-null space (within rounding)
         if !h.is_empty() {
             let total = h.selectivity_lt(&v, true) + h.selectivity_gt(&v, false);
-            prop_assert!(total <= 1.0 + 1e-6, "lt+gt = {}", total);
+            assert!(total <= 1.0 + 1e-6, "lt+gt = {total}");
         }
     }
+}
 
-    #[test]
-    fn histogram_eq_matches_exact_frequency(
-        values in prop::collection::vec(0i64..50, 1..400),
-        probe in 0i64..50,
-    ) {
-        let n = values.len() as f64;
+#[test]
+fn histogram_eq_matches_exact_frequency() {
+    let mut rng = StdRng::seed_from_u64(0xD7A2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..400usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..50)).collect();
+        let probe = rng.gen_range(0i64..50);
         let h = Histogram::build(values.iter().copied().map(Value::Int).collect());
-        let actual = values.iter().filter(|&&x| x == probe).count() as f64 / n;
+        let actual = values.iter().filter(|&&x| x == probe).count() as f64 / n as f64;
         let est = h.selectivity_eq(&Value::Int(probe));
         // small domains build exact histograms (≤200 buckets): estimates
         // should be very close to truth
-        prop_assert!((est - actual).abs() < 0.05, "est {} vs actual {}", est, actual);
+        assert!((est - actual).abs() < 0.05, "est {est} vs actual {actual}");
     }
+}
 
-    #[test]
-    fn partitioning_covers_domain(
-        mut boundaries in prop::collection::vec(-1000i64..1000, 0..10),
-        probe in -1500i64..1500,
-    ) {
-        boundaries.sort();
+// ---- partitioning --------------------------------------------------------
+
+#[test]
+fn partitioning_covers_domain() {
+    let mut rng = StdRng::seed_from_u64(0xD7A3);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..10usize);
+        let mut boundaries: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        boundaries.sort_unstable();
+        let probe = rng.gen_range(-1500i64..1500);
         let p = RangePartitioning::new("c", boundaries.iter().copied().map(Value::Int).collect());
         let idx = p.partition_of(&Value::Int(probe));
-        prop_assert!(idx < p.partition_count());
+        assert!(idx < p.partition_count());
         // a point range touches exactly one partition
         let v = Value::Int(probe);
-        prop_assert_eq!(p.partitions_touched(Some(&v), Some(&v)), 1);
+        assert_eq!(p.partitions_touched(Some(&v), Some(&v)), 1);
         // the unbounded range touches all of them
-        prop_assert_eq!(p.partitions_touched(None, None), p.partition_count());
+        assert_eq!(p.partitions_touched(None, None), p.partition_count());
     }
+}
 
-    #[test]
-    fn configuration_set_semantics(names in prop::collection::vec("[a-d]", 1..8)) {
+// ---- configurations ------------------------------------------------------
+
+#[test]
+fn configuration_set_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xD7A4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..8usize);
+        let names: Vec<&str> = (0..n).map(|_| pick(&mut rng, &["a", "b", "c", "d"])).collect();
         // adding the same structures in any order yields the same set
         let mut cfg = Configuration::new();
-        for n in &names {
-            cfg.add(PhysicalStructure::Index(Index::non_clustered("db", "t", &[n.as_str()], &[])));
+        for name in &names {
+            cfg.add(PhysicalStructure::Index(Index::non_clustered("db", "t", &[name], &[])));
         }
         let mut unique = names.clone();
-        unique.sort();
+        unique.sort_unstable();
         unique.dedup();
-        prop_assert_eq!(cfg.len(), unique.len());
+        assert_eq!(cfg.len(), unique.len());
         // union is idempotent
         let u = cfg.union(&cfg);
-        prop_assert_eq!(u.len(), cfg.len());
+        assert_eq!(u.len(), cfg.len());
     }
 }
 
 // ---- signatures: instances of one template always collapse ---------------
 
-proptest! {
-    #[test]
-    fn signatures_ignore_constants(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+#[test]
+fn signatures_ignore_constants() {
+    let mut rng = StdRng::seed_from_u64(0xD7A5);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-10_000i64..10_000);
+        let b = rng.gen_range(-10_000i64..10_000);
         let s1 = parse_statement(&format!("SELECT x FROM t WHERE a = {a} AND b < {b}")).unwrap();
         let s2 = parse_statement("SELECT x FROM t WHERE a = 0 AND b < 1").unwrap();
-        prop_assert_eq!(signature(&s1), signature(&s2));
+        assert_eq!(signature(&s1), signature(&s2));
     }
 }

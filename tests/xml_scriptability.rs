@@ -65,16 +65,13 @@ fn full_xml_loop() {
 
     // serialize the full output; recover the recommendation
     let out_xml = xml::result_to_xml(&result);
-    let recommendation =
-        xml::schema::recommendation_from_output(&out_xml).expect("output parses");
+    let recommendation = xml::schema::recommendation_from_output(&out_xml).expect("output parses");
     assert_eq!(recommendation, result.recommendation);
 
     // feed it back in as a user-specified configuration (§6.3 iterative
     // tuning): the refining run must honor every structure
-    let refine_options = TuningOptions {
-        user_specified: Some(recommendation.clone()),
-        ..TuningOptions::default()
-    };
+    let refine_options =
+        TuningOptions { user_specified: Some(recommendation.clone()), ..TuningOptions::default() };
     let refined = tune(&target, &workload2, &refine_options).expect("refining run succeeds");
     for s in recommendation.iter() {
         assert!(refined.recommendation.contains(s), "refinement dropped {}", s.name());
