@@ -537,15 +537,15 @@ mod tests {
                 Column::new("pad", ColumnType::Str(60)),
             ],
         ))
-        .unwrap();
+        .expect("fresh table");
         db.add_table(Table::new(
             "u",
             vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
         ))
-        .unwrap();
-        s.create_database(db).unwrap();
+        .expect("fresh table");
+        s.create_database(db).expect("fresh database");
         for i in 0..20_000i64 {
-            s.table_data_mut("d", "t").unwrap().push_row(vec![
+            s.table_data_mut("d", "t").expect("table exists").push_row(vec![
                 Value::Int(i % 500),
                 Value::Int(i),
                 Value::Int(i % 10),
@@ -553,7 +553,9 @@ mod tests {
             ]);
         }
         for i in 0..2_000i64 {
-            s.table_data_mut("d", "u").unwrap().push_row(vec![Value::Int(i % 500), Value::Int(i)]);
+            s.table_data_mut("d", "u")
+                .expect("table exists")
+                .push_row(vec![Value::Int(i % 500), Value::Int(i)]);
         }
         s
     }
@@ -565,7 +567,7 @@ mod tests {
             "SELECT v FROM t, u WHERE t.a = u.k AND b < 100",
         ]
         .iter()
-        .map(|sql| WorkloadItem::new("d", parse_statement(sql).unwrap()))
+        .map(|sql| WorkloadItem::new("d", parse_statement(sql).expect("valid SQL")))
         .collect()
     }
 
@@ -688,8 +690,10 @@ mod tests {
     fn update_statements_yield_locator_indexes() {
         let s = server();
         let target = TuningTarget::Single(&s);
-        let item =
-            WorkloadItem::new("d", parse_statement("UPDATE t SET g = 1 WHERE b = 55").unwrap());
+        let item = WorkloadItem::new(
+            "d",
+            parse_statement("UPDATE t SET g = 1 WHERE b = 55").expect("valid SQL"),
+        );
         let groups = groups_for(&s, std::slice::from_ref(&item));
         let gs = generate_for_item(&target, &groups, &TuningOptions::default(), &item);
         assert!(gs

@@ -212,14 +212,14 @@ mod tests {
                 Column::new("rare", ColumnType::Int),
             ],
         ))
-        .unwrap();
+        .expect("fresh table");
         let mut cat = Catalog::new();
-        cat.add_database(db).unwrap();
+        cat.add_database(db).expect("fresh database");
         cat
     }
 
     fn item(sql: &str, weight: f64) -> WorkloadItem {
-        WorkloadItem::weighted("d", parse_statement(sql).unwrap(), weight)
+        WorkloadItem::weighted("d", parse_statement(sql).expect("valid SQL"), weight)
     }
 
     #[test]
@@ -248,7 +248,7 @@ mod tests {
             "u",
             vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
         ))
-        .unwrap();
+        .expect("fresh table");
         // second table in same db instead
         let _ = db2;
         let mut db = Database::new("dd");
@@ -256,16 +256,16 @@ mod tests {
             "t",
             vec![Column::new("a", ColumnType::Int), Column::new("k", ColumnType::Int)],
         ))
-        .unwrap();
+        .expect("fresh table");
         db.add_table(Table::new(
             "u",
             vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
         ))
-        .unwrap();
-        cat.add_database(db).unwrap();
+        .expect("fresh table");
+        cat.add_database(db).expect("fresh database");
         let items = vec![WorkloadItem::new(
             "dd",
-            parse_statement("SELECT v FROM t, u WHERE t.k = u.k GROUP BY v").unwrap(),
+            parse_statement("SELECT v FROM t, u WHERE t.k = u.k GROUP BY v").expect("valid SQL"),
         )];
         let groups = interesting_column_groups(&cat, &items, &[10.0], 0.01);
         let k: BTreeSet<String> = ["k".to_string()].into();

@@ -27,7 +27,15 @@
 //! with order-independent arithmetic, so the hot path (a cache hit)
 //! touches no heap. The projected [`Configuration`] is only materialized
 //! on a miss, where the what-if call dwarfs it.
+//!
+//! Debug builds additionally run the sanitizer-lite checks from
+//! [`crate::invariants`]: every cache hit re-derives a second,
+//! independent fingerprint to detect primary-key collisions, every
+//! cached cost must be finite and non-negative, weighted sums must
+//! accumulate monotonically, and the shard table must stay one-to-one
+//! with the workload. All of it compiles away under `--release`.
 
+use crate::invariants;
 use dta_physical::{Configuration, PhysicalStructure};
 use dta_server::{ServerError, TuningTarget};
 use dta_workload::WorkloadItem;
@@ -43,6 +51,9 @@ struct CacheEntry {
     cost: f64,
     /// Names of the structures the plan uses (for §6.3 reports).
     used_structures: Vec<String>,
+    /// Secondary fingerprint for debug-build collision detection
+    /// ([`invariants::check_fingerprint`]); 0 in release builds.
+    verify: u64,
 }
 
 /// Caching cost evaluator over one tuning target and workload.
@@ -97,6 +108,8 @@ impl<'a> CostEvaluator<'a> {
 
     /// What-if calls actually issued (cache misses).
     pub fn whatif_calls(&self) -> usize {
+        // dta-lint: allow(R6): monotonic telemetry counter; readers only
+        // need an eventually-consistent tally, nothing is ordered on it.
         self.whatif_calls.load(Ordering::Relaxed)
     }
 
@@ -151,6 +164,32 @@ impl<'a> CostEvaluator<'a> {
         h.finish()
     }
 
+    /// Second, independently-combined fingerprint of the same projection
+    /// (different seed, different combiners). Debug builds store it per
+    /// cache entry and re-derive it on every hit: a primary-key collision
+    /// — two projections sharing a [`Self::fingerprint`] — then trips
+    /// [`invariants::check_fingerprint`] instead of silently pricing one
+    /// configuration with another's cost.
+    fn verify_fingerprint(&self, i: usize, config: &Configuration) -> u64 {
+        /// Seed decorrelating this hash from the primary fingerprint's.
+        const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut sum = 0u64;
+        let mut prod = 1u64;
+        let mut count = 0u64;
+        for s in config.iter().filter(|s| self.is_relevant(i, s)) {
+            let mut h = DefaultHasher::new();
+            SEED.hash(&mut h);
+            s.hash(&mut h);
+            let v = h.finish();
+            sum = sum.wrapping_add(v);
+            prod = prod.wrapping_mul(v | 1);
+            count += 1;
+        }
+        let mut h = DefaultHasher::new();
+        (count, prod, sum).hash(&mut h);
+        h.finish()
+    }
+
     /// Price item `i` under `config`, returning the full cache entry.
     fn item_entry(
         &self,
@@ -158,19 +197,27 @@ impl<'a> CostEvaluator<'a> {
         config: &Configuration,
         want_structures: bool,
     ) -> Result<(f64, Vec<String>), ServerError> {
+        invariants::check_shards(self.shards.len(), self.items.len(), i);
         let fp = self.fingerprint(i, config);
         if let Some(e) = self.shards[i].read().get(&fp) {
+            if invariants::ENABLED {
+                invariants::check_fingerprint(e.verify, self.verify_fingerprint(i, config), i);
+            }
             let used = if want_structures { e.used_structures.clone() } else { Vec::new() };
             return Ok((e.cost, used));
         }
         let relevant = self.project(i, config);
         let item = &self.items[i];
+        // dta-lint: allow(R6): monotonic telemetry counter; racing misses
+        // may each add one, which is the intended semantics (calls issued).
         self.whatif_calls.fetch_add(1, Ordering::Relaxed);
         let plan = self.target.whatif(&item.database, &item.statement, &relevant)?;
         let cost = plan.cost;
+        invariants::check_cost(cost, "what-if estimate");
         let used_structures = plan.used_structures();
         let used = if want_structures { used_structures.clone() } else { Vec::new() };
-        self.shards[i].write().insert(fp, CacheEntry { cost, used_structures });
+        let verify = if invariants::ENABLED { self.verify_fingerprint(i, config) } else { 0 };
+        self.shards[i].write().insert(fp, CacheEntry { cost, used_structures, verify });
         Ok((cost, used))
     }
 
@@ -195,7 +242,9 @@ impl<'a> CostEvaluator<'a> {
     pub fn workload_cost(&self, config: &Configuration) -> Result<f64, ServerError> {
         let mut total = 0.0;
         for i in 0..self.items.len() {
-            total += self.items[i].weight * self.item_cost(i, config)?;
+            let next = total + self.items[i].weight * self.item_cost(i, config)?;
+            invariants::check_monotonic_sum(total, next, "workload_cost");
+            total = next;
         }
         Ok(total)
     }
@@ -208,7 +257,9 @@ impl<'a> CostEvaluator<'a> {
     ) -> Result<f64, ServerError> {
         let mut total = 0.0;
         for &i in indexes {
-            total += self.items[i].weight * self.item_cost(i, config)?;
+            let next = total + self.items[i].weight * self.item_cost(i, config)?;
+            invariants::check_monotonic_sum(total, next, "subset_cost");
+            total = next;
         }
         Ok(total)
     }
@@ -231,11 +282,11 @@ mod tests {
                 name,
                 vec![Column::new("a", ColumnType::Int), Column::new("b", ColumnType::Int)],
             ))
-            .unwrap();
+            .expect("fresh table");
         }
-        s.create_database(db).unwrap();
+        s.create_database(db).expect("fresh database");
         for name in ["t", "u"] {
-            let d = s.table_data_mut("d", name).unwrap();
+            let d = s.table_data_mut("d", name).expect("table exists");
             for i in 0..5000i64 {
                 d.push_row(vec![Value::Int(i % 100), Value::Int(i)]);
             }
@@ -247,12 +298,12 @@ mod tests {
         Workload::from_items(vec![
             dta_workload::WorkloadItem::weighted(
                 "d",
-                parse_statement("SELECT b FROM t WHERE a = 5").unwrap(),
+                parse_statement("SELECT b FROM t WHERE a = 5").expect("valid SQL"),
                 10.0,
             ),
             dta_workload::WorkloadItem::new(
                 "d",
-                parse_statement("SELECT b FROM u WHERE a = 7").unwrap(),
+                parse_statement("SELECT b FROM u WHERE a = 7").expect("valid SQL"),
             ),
         ])
     }
@@ -264,9 +315,9 @@ mod tests {
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
         let empty = Configuration::new();
-        let c1 = eval.workload_cost(&empty).unwrap();
+        let c1 = eval.workload_cost(&empty).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), 2);
-        let c2 = eval.workload_cost(&empty).unwrap();
+        let c2 = eval.workload_cost(&empty).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), 2, "second evaluation fully cached");
         assert_eq!(c1, c2);
     }
@@ -277,7 +328,7 @@ mod tests {
         let target = TuningTarget::Single(&s);
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
-        eval.workload_cost(&Configuration::new()).unwrap();
+        eval.workload_cost(&Configuration::new()).expect("costing succeeds");
         let calls = eval.whatif_calls();
         // an index on `u` cannot affect the statement on `t`
         let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
@@ -286,9 +337,9 @@ mod tests {
             &["a"],
             &["b"],
         ))]);
-        eval.item_cost(0, &cfg).unwrap();
+        eval.item_cost(0, &cfg).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), calls, "projection made it a cache hit");
-        eval.item_cost(1, &cfg).unwrap();
+        eval.item_cost(1, &cfg).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), calls + 1);
     }
 
@@ -298,9 +349,9 @@ mod tests {
         let target = TuningTarget::Single(&s);
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
-        let total = eval.workload_cost(&Configuration::new()).unwrap();
-        let c0 = eval.item_cost(0, &Configuration::new()).unwrap();
-        let c1 = eval.item_cost(1, &Configuration::new()).unwrap();
+        let total = eval.workload_cost(&Configuration::new()).expect("costing succeeds");
+        let c0 = eval.item_cost(0, &Configuration::new()).expect("costing succeeds");
+        let c1 = eval.item_cost(1, &Configuration::new()).expect("costing succeeds");
         assert!((total - (10.0 * c0 + c1)).abs() < 1e-9);
     }
 
@@ -311,8 +362,8 @@ mod tests {
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
         let empty = Configuration::new();
-        let only_first = eval.subset_cost(&[0], &empty).unwrap();
-        let c0 = eval.item_cost(0, &empty).unwrap();
+        let only_first = eval.subset_cost(&[0], &empty).expect("costing succeeds");
+        let c0 = eval.item_cost(0, &empty).expect("costing succeeds");
         assert!((only_first - 10.0 * c0).abs() < 1e-9);
     }
 
@@ -322,14 +373,14 @@ mod tests {
         let target = TuningTarget::Single(&s);
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
-        let before = eval.item_cost(0, &Configuration::new()).unwrap();
+        let before = eval.item_cost(0, &Configuration::new()).expect("costing succeeds");
         let cfg = Configuration::from_structures([PhysicalStructure::Index(Index::non_clustered(
             "d",
             "t",
             &["a"],
             &["b"],
         ))]);
-        let after = eval.item_cost(0, &cfg).unwrap();
+        let after = eval.item_cost(0, &cfg).expect("costing succeeds");
         assert!(after < before);
     }
 
@@ -354,10 +405,10 @@ mod tests {
         let target = TuningTarget::Single(&s);
         let w = wl();
         let eval = CostEvaluator::new(&target, &w.items);
-        eval.workload_cost(&Configuration::new()).unwrap();
+        eval.workload_cost(&Configuration::new()).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), 2);
         eval.invalidate();
-        eval.workload_cost(&Configuration::new()).unwrap();
+        eval.workload_cost(&Configuration::new()).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), 4, "cache was dropped, calls re-issued");
     }
 
@@ -369,10 +420,10 @@ mod tests {
         let eval = CostEvaluator::new(&target, &w.items);
         let ix = Index::non_clustered("d", "t", &["a"], &["b"]);
         let cfg = Configuration::from_structures([PhysicalStructure::Index(ix.clone())]);
-        let (_, used) = eval.item_report(0, &cfg).unwrap();
+        let (_, used) = eval.item_report(0, &cfg).expect("costing succeeds");
         assert!(used.contains(&ix.name()), "{used:?}");
         // and the cached path returns them too
-        let (_, used_again) = eval.item_report(0, &cfg).unwrap();
+        let (_, used_again) = eval.item_report(0, &cfg).expect("costing succeeds");
         assert_eq!(used, used_again);
     }
 
@@ -395,11 +446,12 @@ mod tests {
             &["a"],
             &["b"],
         ))]);
-        let serial = eval.workload_cost(&cfg).unwrap();
+        let serial = eval.workload_cost(&cfg).expect("costing succeeds");
         let results: Vec<f64> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..4).map(|_| scope.spawn(|| eval.workload_cost(&cfg).unwrap())).collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| eval.workload_cost(&cfg).expect("costing succeeds")))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker joins")).collect()
         });
         for r in results {
             assert_eq!(r.to_bits(), serial.to_bits());

@@ -186,6 +186,8 @@ pub fn enumerate(
         }
         if options.alignment.required() {
             let (aligned, n) = align_configuration(&cfg);
+            // dta-lint: allow(R6): monotonic telemetry counter; read only
+            // after greedy_mk has joined every worker.
             lazy_variants.fetch_add(n, Ordering::Relaxed);
             cfg = aligned;
         }
@@ -250,6 +252,8 @@ pub fn enumerate(
         cost: outcome.cost,
         evaluations: outcome.evaluations,
         pool_size: structures.len(),
+        // dta-lint: allow(R6): all workers joined inside greedy_mk; this
+        // read races with nothing.
         lazy_variants: lazy_variants.load(Ordering::Relaxed),
     }
 }

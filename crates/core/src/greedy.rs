@@ -17,6 +17,7 @@
 //! cost ties exactly as a serial left-to-right scan would. Parallel and
 //! serial runs therefore return bit-identical outcomes.
 
+use crate::det;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluate a subset. `None` means the subset is infeasible (e.g. over
@@ -53,27 +54,18 @@ fn par_min(
     stop: &StopFn<'_>,
     f: &(dyn Fn(usize) -> Option<f64> + Sync),
 ) -> Option<(usize, f64)> {
-    let better = |a: (usize, f64), b: Option<(usize, f64)>| -> Option<(usize, f64)> {
-        match b {
-            None => Some(a),
-            Some(b) => {
-                if a.1 < b.1 || (a.1 == b.1 && a.0 < b.0) {
-                    Some(a)
-                } else {
-                    Some(b)
-                }
-            }
-        }
-    };
     let scan = |positions: &mut dyn Iterator<Item = usize>| -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for pos in positions {
             if stop() {
                 break;
             }
+            // dta-lint: allow(R6): monotonic telemetry counter; the value is
+            // only read after every worker has joined, so no ordering is
+            // needed for correctness.
             evaluations.fetch_add(1, Ordering::Relaxed);
             if let Some(cost) = f(pos) {
-                best = better((pos, cost), best);
+                best = det::min_by_cost_position((pos, cost), best);
             }
         }
         best
@@ -89,7 +81,7 @@ fn par_min(
         let mut best: Option<(usize, f64)> = None;
         for h in handles {
             if let Some(local) = h.join().expect("greedy worker panicked") {
-                best = better(local, best);
+                best = det::min_by_cost_position(local, best);
             }
         }
         best
@@ -139,6 +131,8 @@ pub fn greedy_mk<S: Clone + Sync>(
     let outcome = |best_set: &[usize], best_cost: f64| GreedyOutcome {
         chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
         cost: best_cost,
+        // dta-lint: allow(R6): read after par_min joined every worker;
+        // the counter is telemetry, not synchronization.
         evaluations: evaluations.load(Ordering::Relaxed),
     };
 
@@ -149,7 +143,7 @@ pub fn greedy_mk<S: Clone + Sync>(
         eval(&refs)
     };
     if let Some((pos, cost)) = par_min(subsets.len(), workers, &evaluations, stop, &eval_subset) {
-        if cost < best_cost {
+        if det::improves(cost, best_cost) {
             best_cost = cost;
             best_set = subsets[pos].clone();
         }
@@ -176,7 +170,7 @@ pub fn greedy_mk<S: Clone + Sync>(
             eval(&refs)
         };
         match par_min(remaining.len(), workers, &evaluations, stop, &eval_extension) {
-            Some((pos, cost)) if cost < best_cost => {
+            Some((pos, cost)) if det::improves(cost, best_cost) => {
                 best_set.push(remaining[pos]);
                 best_cost = cost;
             }

@@ -20,8 +20,10 @@
 pub mod candidates;
 pub mod colgroups;
 pub mod cost;
+pub mod det;
 pub mod enumeration;
 pub mod greedy;
+pub mod invariants;
 pub mod merging;
 pub mod options;
 pub mod report;

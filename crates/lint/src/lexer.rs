@@ -1,0 +1,386 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for
+//! token-stream pattern rules.
+//!
+//! The rules in [`crate::rules`] never need a parse tree; they match
+//! short token sequences (`Ordering :: Relaxed`, `. unwrap ( )`, …).
+//! What they *do* need is for the lexer to never mistake the inside of
+//! a string, comment, or char literal for code, so those are handled
+//! with full care:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   **nested**, `/** */`) become [`TokenKind::Comment`] tokens — kept,
+//!   because suppression pragmas live in comments;
+//! * plain strings with escapes, raw strings `r"…"` / `r#"…"#` (any
+//!   hash depth), byte and raw-byte strings;
+//! * char literals vs. lifetimes: `'a'` is a char, `'a` is a lifetime,
+//!   `'\n'` / `'\u{1F600}'` are chars, `'static` is a lifetime;
+//! * numbers (decimal, hex/octal/binary, floats, `_` separators,
+//!   suffixes) are consumed greedily into one token.
+//!
+//! Every token carries its 1-based line and column so findings point at
+//! exact source positions.
+
+/// What a token is. Rules mostly care about `Ident` and `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// String literal of any flavor (plain, raw, byte, raw-byte).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`.`, `:`, `<`, `{`, …).
+    Punct,
+    /// Line or block comment, text included (pragmas live here).
+    Comment,
+}
+
+/// One lexed token with its exact source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token's text. For `Punct` this is one character; for
+    /// comments it includes the delimiters.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for tokens the pattern rules should see (everything but
+    /// comments).
+    pub fn is_code(&self) -> bool {
+        self.kind != TokenKind::Comment
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Self { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, buf: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            buf.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a full token stream (comments included).
+///
+/// The lexer is total: any input produces a token stream. Malformed
+/// constructs (an unterminated string, a stray byte) degrade to
+/// best-effort tokens rather than errors — a *linter* must keep going.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let tok = |kind: TokenKind, text: String| Token { kind, text, line, col };
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // comments
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            cur.eat_while(&mut text, |c| c != '\n');
+            out.push(tok(TokenKind::Comment, text));
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            out.push(tok(TokenKind::Comment, block_comment(&mut cur)));
+            continue;
+        }
+        // raw / byte / raw-byte string prefixes
+        if (c == 'r' || c == 'b') && string_prefix_len(&cur) > 0 {
+            out.push(tok(TokenKind::Str, prefixed_string(&mut cur)));
+            continue;
+        }
+        // byte char b'x'
+        if c == 'b' && cur.peek_at(1) == Some('\'') {
+            let mut text = String::new();
+            text.push(cur.bump().expect("peeked 'b'"));
+            text.push_str(&char_literal(&mut cur));
+            out.push(tok(TokenKind::Char, text));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            out.push(tok(TokenKind::Ident, text));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(tok(TokenKind::Num, number(&mut cur)));
+            continue;
+        }
+        if c == '"' {
+            out.push(tok(TokenKind::Str, plain_string(&mut cur)));
+            continue;
+        }
+        if c == '\'' {
+            // char literal or lifetime?
+            let (kind, text) = quote(&mut cur);
+            out.push(tok(kind, text));
+            continue;
+        }
+        let mut text = String::new();
+        text.push(cur.bump().expect("peeked punct"));
+        out.push(tok(TokenKind::Punct, text));
+    }
+    out
+}
+
+/// Length of a raw/byte string prefix at the cursor (`r"`, `r#`, `b"`,
+/// `br#`, …), or 0 if the cursor is not at a string prefix.
+fn string_prefix_len(cur: &Cursor) -> usize {
+    let mut i = 0;
+    match cur.peek_at(i) {
+        Some('b') => {
+            i += 1;
+            if cur.peek_at(i) == Some('r') {
+                i += 1;
+            }
+        }
+        Some('r') => i += 1,
+        _ => return 0,
+    }
+    let mut j = i;
+    while cur.peek_at(j) == Some('#') {
+        j += 1;
+    }
+    if cur.peek_at(j) == Some('"') {
+        // `b"…"` (j == i == 1, no `r`) is a plain byte string — fine too.
+        j + 1
+    } else {
+        0
+    }
+}
+
+/// Consume `r"…"` / `r#"…"#` / `b"…"` / `br##"…"##` starting at the
+/// prefix. Raw strings have no escapes; byte strings escape like plain
+/// strings.
+fn prefixed_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut raw = false;
+    while let Some(c) = cur.peek() {
+        if c == 'b' || c == 'r' {
+            raw |= c == 'r';
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let mut hashes = 0;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    if raw {
+        // closes at `"` followed by `hashes` hash marks
+        while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && cur.peek() == Some('#') {
+                    text.push('#');
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    } else {
+        text.push_str(&string_body(cur));
+    }
+    text
+}
+
+/// Body of a plain (escaping) string after the opening quote, through
+/// the closing quote.
+fn string_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+fn plain_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote"));
+    text.push_str(&string_body(cur));
+    text
+}
+
+/// A `'…` sequence: lifetime (`'a`, `'static`) or char literal
+/// (`'x'`, `'\n'`, `'\u{…}'`).
+///
+/// Disambiguation, same as rustc: after the quote, an identifier chunk
+/// that is **not** followed by a closing `'` is a lifetime; anything
+/// else is a char literal.
+fn quote(cur: &mut Cursor) -> (TokenKind, String) {
+    // lookahead without consuming
+    let mut i = 1; // past the opening '
+    if cur.peek_at(i).is_some_and(is_ident_start) {
+        while cur.peek_at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek_at(i) != Some('\'') {
+            // lifetime
+            let mut text = String::new();
+            text.push(cur.bump().expect("opening quote"));
+            cur.eat_while(&mut text, is_ident_continue);
+            return (TokenKind::Lifetime, text);
+        }
+    }
+    (TokenKind::Char, char_literal(cur))
+}
+
+/// A char literal starting at the opening `'`, through the closing `'`.
+fn char_literal(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().expect("opening quote"));
+    match cur.bump() {
+        Some('\\') => {
+            text.push('\\');
+            match cur.bump() {
+                Some('u') => {
+                    text.push('u');
+                    // \u{…}
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                Some(e) => {
+                    text.push(e);
+                    // \xNN
+                    if e == 'x' {
+                        for _ in 0..2 {
+                            if let Some(h) = cur.bump() {
+                                text.push(h);
+                            }
+                        }
+                    }
+                }
+                None => return text,
+            }
+        }
+        Some(c) => text.push(c),
+        None => return text,
+    }
+    if cur.peek() == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    text
+}
+
+/// A numeric literal: integer/float, any radix prefix, `_` separators,
+/// type suffixes, exponents. Greedy and permissive — rules only need
+/// "this region is a number", never its value.
+fn number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    // a fractional part: `.` followed by a digit (not `..` or a method)
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        cur.bump();
+        cur.eat_while(&mut text, |c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    // exponent sign: `1e-5` — the `e` was eaten above, pick up `-5`
+    if text.ends_with(['e', 'E']) && cur.peek().is_some_and(|c| c == '+' || c == '-') {
+        text.push(cur.bump().expect("peeked sign"));
+        cur.eat_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+    }
+    text
+}
+
+/// A block comment starting at `/*`, honoring nesting.
+fn block_comment(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().expect("'/'"));
+    text.push(cur.bump().expect("'*'"));
+    let mut depth = 1u32;
+    while depth > 0 {
+        match cur.bump() {
+            Some('/') if cur.peek() == Some('*') => {
+                text.push('/');
+                text.push(cur.bump().expect("'*'"));
+                depth += 1;
+            }
+            Some('*') if cur.peek() == Some('/') => {
+                text.push('*');
+                text.push(cur.bump().expect("'/'"));
+                depth -= 1;
+            }
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    text
+}

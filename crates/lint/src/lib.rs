@@ -1,0 +1,110 @@
+//! `dta-lint` — in-tree static analysis enforcing the workspace's
+//! determinism and concurrency invariants.
+//!
+//! PR 1 established that parallel and serial Greedy(m,k) runs produce
+//! **byte-identical recommendations**. That property is load-bearing —
+//! DTA ranks configurations by optimizer-estimated cost, so any
+//! nondeterminism in iteration order, float tie-breaking, or thread
+//! interleaving silently changes recommendations between runs. This
+//! crate encodes the discipline as machine-checked rules (R1–R6, see
+//! [`rules::RULES`]) over a hand-rolled lexer: dependency-free,
+//! offline, and fast enough to gate CI.
+//!
+//! ```text
+//! cargo run -p dta-lint -- crates/ --deny-warnings   # gate
+//! cargo run -p dta-lint -- crates/ --json            # machine report
+//! ```
+//!
+//! Escape hatch: `// dta-lint: allow(<rule>): <justification>` on (or
+//! directly above) the offending line. The justification is mandatory.
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+pub use rules::{Finding, Severity};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of linting a set of paths.
+#[derive(Debug, Default)]
+pub struct LintResult {
+    /// Findings that survived suppression, in (path, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by valid pragmas.
+    pub suppressed: usize,
+    /// Files inspected.
+    pub files: usize,
+}
+
+impl LintResult {
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == severity).count()
+    }
+
+    /// Whether the run should fail the build.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+}
+
+/// Lint a single source text under a (possibly synthetic) relative
+/// path. The path drives rule scoping — `"crates/core/src/x.rs"`
+/// enables the core-scoped rules even for an in-memory fixture.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    rules::check_source(rel_path, src).0
+}
+
+/// Lint every in-scope `.rs` file under `paths` (files or directories).
+pub fn lint_paths(paths: &[PathBuf]) -> io::Result<LintResult> {
+    let mut files = Vec::new();
+    for p in paths {
+        collect_files(p, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut result = LintResult::default();
+    for f in &files {
+        let rel = f.to_string_lossy().replace('\\', "/");
+        if !rules::in_scope(&rel) {
+            continue;
+        }
+        let src = fs::read_to_string(f)?;
+        let (findings, suppressed) = rules::check_source(&rel, &src);
+        result.findings.extend(findings);
+        result.suppressed += suppressed;
+        result.files += 1;
+    }
+    result
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(result)
+}
+
+fn collect_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let meta = fs::metadata(path)?;
+    if meta.is_file() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    // deterministic traversal: sort directory entries by name
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for e in entries {
+        let name = e.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || rules::EXCLUDED_COMPONENTS.contains(&name) {
+            continue;
+        }
+        if e.is_dir() {
+            collect_files(&e, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(e);
+        }
+    }
+    Ok(())
+}

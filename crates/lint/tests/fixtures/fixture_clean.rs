@@ -1,0 +1,8 @@
+//! Clean fixture: the R6 pragma below is justified, so nothing fires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn read(counter: &AtomicUsize) -> usize {
+    // dta-lint: allow(R6): monotonic counter read after all writers joined.
+    counter.load(Ordering::Relaxed)
+}

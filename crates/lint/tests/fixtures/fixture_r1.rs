@@ -1,0 +1,17 @@
+//! R1 fixture: Hash{Map,Set} iteration under a core-scoped path.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn total(costs: &HashMap<String, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_key, value) in costs.iter() {
+        sum += *value;
+    }
+    sum
+}
+
+pub fn drain_all(pool: &mut HashSet<u64>) {
+    for id in pool {
+        let _ = id;
+    }
+}

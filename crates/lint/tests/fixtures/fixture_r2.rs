@@ -1,0 +1,11 @@
+//! R2 fixture: raw float comparisons on costs (linted as greedy.rs).
+
+pub fn pick(best_cost: f64, cost: f64, benefit: f64) -> f64 {
+    if cost < 100.0 {
+        return cost;
+    }
+    if 0.0 > benefit {
+        return 0.0;
+    }
+    best_cost.min(cost)
+}

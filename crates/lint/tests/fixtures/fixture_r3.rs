@@ -1,0 +1,7 @@
+//! R3 fixture: interior mutability in a thread-shared crate.
+
+use std::cell::RefCell;
+
+pub struct Scratch {
+    buffer: RefCell<Vec<f64>>,
+}

@@ -1,0 +1,5 @@
+//! R4 fixture: a detached thread spawn outside the sanctioned modules.
+
+pub fn background() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,5 @@
+//! R5 fixture: a bare unwrap in library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

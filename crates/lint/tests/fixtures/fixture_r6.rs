@@ -1,0 +1,7 @@
+//! R6 fixture: a Relaxed atomic load without a justification pragma.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn read(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,149 @@
+//! Lexer fidelity tests: the rule engine is only as good as the
+//! lexer's ability to keep strings, comments, chars, and lifetimes out
+//! of the code stream.
+
+use dta_lint::lexer::{lex, Token, TokenKind};
+
+fn kinds(tokens: &[Token]) -> Vec<TokenKind> {
+    tokens.iter().map(|t| t.kind).collect()
+}
+
+fn code_texts(tokens: &[Token]) -> Vec<&str> {
+    tokens.iter().filter(|t| t.is_code()).map(|t| t.text.as_str()).collect()
+}
+
+#[test]
+fn plain_string_with_escapes_is_one_token() {
+    let toks = lex(r#"let s = "a \" quote and a \\ backslash";"#);
+    let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, r#""a \" quote and a \\ backslash""#);
+    // the semicolon after the string is still seen
+    assert_eq!(toks.last().expect("tokens").text, ";");
+}
+
+#[test]
+fn string_contents_never_leak_into_code() {
+    // if the lexer mis-tracked the string, `unwrap` would appear as an Ident
+    let toks = lex(r#"let s = "costs.iter().unwrap() /* not code */";"#);
+    assert_eq!(
+        code_texts(&toks),
+        vec!["let", "s", "=", r#""costs.iter().unwrap() /* not code */""#, ";"]
+    );
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    let toks = lex(r###"let s = r#"has "quotes" and // no comment"#;"###);
+    let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].text, r###"r#"has "quotes" and // no comment"#"###);
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Comment));
+
+    let toks = lex("r##\"one \"# inside\"## next");
+    assert_eq!(toks[0].kind, TokenKind::Str);
+    assert_eq!(toks[0].text, "r##\"one \"# inside\"##");
+    assert_eq!(toks[1].text, "next");
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let toks = lex(r#"(b"bytes", br"raw bytes", b'q')"#);
+    let kinds: Vec<TokenKind> =
+        toks.iter().filter(|t| t.kind != TokenKind::Punct).map(|t| t.kind).collect();
+    assert_eq!(kinds, vec![TokenKind::Str, TokenKind::Str, TokenKind::Char]);
+}
+
+#[test]
+fn nested_block_comments() {
+    let toks = lex("/* outer /* inner */ still a comment */ fn");
+    assert_eq!(kinds(&toks), vec![TokenKind::Comment, TokenKind::Ident]);
+    assert_eq!(toks[0].text, "/* outer /* inner */ still a comment */");
+    assert_eq!(toks[1].text, "fn");
+}
+
+#[test]
+fn line_and_doc_comments() {
+    let toks = lex("// plain\n/// doc\n//! inner doc\ncode");
+    assert_eq!(
+        kinds(&toks),
+        vec![TokenKind::Comment, TokenKind::Comment, TokenKind::Comment, TokenKind::Ident]
+    );
+    assert_eq!(toks[0].text, "// plain");
+    assert_eq!(toks[1].text, "/// doc");
+    assert_eq!(toks[2].text, "//! inner doc");
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let toks = lex("&'a str + 'static + 'x' + '\\n' + '\\u{1F600}' + 'q'");
+    let interesting: Vec<(TokenKind, &str)> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Lifetime | TokenKind::Char))
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(
+        interesting,
+        vec![
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Lifetime, "'static"),
+            (TokenKind::Char, "'x'"),
+            (TokenKind::Char, "'\\n'"),
+            (TokenKind::Char, "'\\u{1F600}'"),
+            (TokenKind::Char, "'q'"),
+        ]
+    );
+}
+
+#[test]
+fn char_contents_never_leak_into_code() {
+    // a mis-lexed '<' char would look like a comparison to R2
+    let toks = lex("let c = '<'; cost");
+    assert_eq!(code_texts(&toks), vec!["let", "c", "=", "'<'", ";", "cost"]);
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Punct && t.text == "<"));
+}
+
+#[test]
+fn numbers_are_single_tokens() {
+    let toks = lex("1_000 0xFF 0b1010 3.25 1e-5 2.5f64");
+    assert_eq!(code_texts(&toks), vec!["1_000", "0xFF", "0b1010", "3.25", "1e-5", "2.5f64"]);
+    assert!(toks.iter().all(|t| t.kind == TokenKind::Num));
+}
+
+#[test]
+fn range_dots_are_not_fraction() {
+    let toks = lex("0..10");
+    assert_eq!(code_texts(&toks), vec!["0", ".", ".", "10"]);
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let toks = lex("ab cd\n  efg\n'x' zz");
+    let pos: Vec<(&str, u32, u32)> =
+        toks.iter().map(|t| (t.text.as_str(), t.line, t.col)).collect();
+    assert_eq!(pos, vec![("ab", 1, 1), ("cd", 1, 4), ("efg", 2, 3), ("'x'", 3, 1), ("zz", 3, 5),]);
+}
+
+#[test]
+fn multiline_strings_and_comments_advance_lines() {
+    let toks = lex("\"two\nlines\" after\n/* a\nb */ tail");
+    let after = toks.iter().find(|t| t.text == "after").expect("after token");
+    assert_eq!((after.line, after.col), (2, 8));
+    let tail = toks.iter().find(|t| t.text == "tail").expect("tail token");
+    assert_eq!((tail.line, tail.col), (4, 6));
+}
+
+#[test]
+fn lexer_is_total_on_malformed_input() {
+    // unterminated constructs must not hang or panic
+    for src in ["\"never closed", "/* never closed", "r#\"never closed", "'", "b'"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "no tokens for {src:?}");
+    }
+}
+
+#[test]
+fn punct_tokens_are_single_chars() {
+    let toks = lex("a::<B>()");
+    assert_eq!(code_texts(&toks), vec!["a", ":", ":", "<", "B", ">", "(", ")"]);
+}
