@@ -7,6 +7,7 @@
 //! interface.
 
 use crate::colgroups::ColumnGroups;
+use crate::control::{SessionControl, StopReason};
 use crate::cost::CostEvaluator;
 use crate::greedy::greedy_mk;
 use crate::options::TuningOptions;
@@ -400,121 +401,233 @@ fn view_candidate(sel: &BoundSelect) -> Option<MaterializedView> {
     }
 }
 
-/// What per-query selection decided for one workload item.
-#[derive(Debug, Clone, Default)]
-struct ItemSelection {
-    generated: usize,
-    evaluations: usize,
-    chosen: Vec<PhysicalStructure>,
+/// What per-query selection decided for one workload item. Public so a
+/// [`crate::SessionCheckpoint`] can persist the completed prefix and a
+/// resumed session can replay it verbatim.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ItemSelection {
+    /// Structures generated for the item (pre-selection).
+    pub generated: usize,
+    /// Greedy evaluations the item's selection performed.
+    pub evaluations: usize,
+    /// The item's best configuration — its candidate contributions.
+    pub chosen: Vec<PhysicalStructure>,
     /// Benefit apportioned to each chosen structure.
-    benefit: f64,
+    pub benefit: f64,
 }
+
+/// Outcome of a budget-aware candidate-selection run: per-item results
+/// in workload order, cut short when the budget ran out.
+#[derive(Debug, Clone)]
+pub struct SelectionRun {
+    /// Completed per-item selections (a workload prefix when interrupted).
+    pub selections: Vec<ItemSelection>,
+    /// `Some` when the budget or a cancellation cut the stage short.
+    pub interrupted: Option<StopReason>,
+}
+
+/// Items per budget block: the budget is charged (and checked) serially
+/// at block boundaries, so a given budget cuts selection at the same
+/// item at any worker count.
+pub const SELECTION_BLOCK: usize = 8;
 
 /// Run candidate selection over all items, costing through the shared
 /// session-wide evaluator.
 ///
-/// When `options.parallel_workers > 1` the items are chunked across
-/// worker threads; every thread prices through the same shared cache.
-/// Per-item outcomes are collected and the pool is assembled in workload
+/// Items are processed in [`SELECTION_BLOCK`]-sized blocks. Within a
+/// block the per-item work fans out over `options.parallel_workers`
+/// threads (every thread prices through the same shared cache); at each
+/// block boundary the block's work — one unit per item plus its greedy
+/// evaluations, all deterministic — is charged against `control`'s
+/// budget serially. Interruption therefore only happens between blocks,
+/// and the same budget cuts at the same item regardless of thread count.
+///
+/// A worker that panics on an item is isolated: the panic is caught, the
+/// item degrades to an empty selection (as if it generated no
+/// candidates), the restart is recorded on `control`, and the session
+/// continues. Serial and parallel runs treat a panicking item
+/// identically, so recommendations stay byte-identical.
+///
+/// `done` carries a resumed session's completed prefix (empty for a
+/// fresh run); per-item outcomes are collected and assembled in workload
 /// order afterwards, so per-structure benefits accumulate in exactly the
 /// serial order — floating-point sums (and hence everything downstream
 /// that sorts on them) are bit-identical at any worker count.
+pub fn select_candidates_resumable(
+    eval: &CostEvaluator<'_>,
+    base: &Configuration,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    control: &SessionControl,
+    mut done: Vec<ItemSelection>,
+) -> SelectionRun {
+    let items = eval.items();
+    done.truncate(items.len());
+    let workers = options.parallel_workers.max(1);
+    while done.len() < items.len() {
+        if let Some(reason) = control.stop() {
+            return SelectionRun { selections: done, interrupted: Some(reason) };
+        }
+        let start = done.len();
+        let end = (start + SELECTION_BLOCK).min(items.len());
+        let n = end - start;
+        let block: Vec<ItemSelection> = if workers <= 1 || n < 2 {
+            (start..end)
+                .map(|i| select_item_guarded(eval, i, base, groups, options, control))
+                .collect()
+        } else {
+            let w = workers.min(n);
+            let mut slots: Vec<Option<ItemSelection>> = vec![None; n];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..w)
+                    .map(|t| {
+                        // dta-lint: allow(R4): candidate selection is a
+                        // sanctioned fan-out site (block-internal).
+                        scope.spawn(move || {
+                            let mut part = Vec::new();
+                            for j in (t..n).step_by(w) {
+                                part.push((
+                                    j,
+                                    select_item_guarded(
+                                        eval,
+                                        start + j,
+                                        base,
+                                        groups,
+                                        options,
+                                        control,
+                                    ),
+                                ));
+                            }
+                            part
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // per-item panics are caught inside the worker, so a
+                    // thread-level Err is out-of-band; its items are
+                    // rescued serially below
+                    if let Ok(part) = h.join() {
+                        for (j, sel) in part {
+                            slots[j] = Some(sel);
+                        }
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(j, slot)| {
+                    slot.unwrap_or_else(|| {
+                        control.note_worker_restart();
+                        select_item_guarded(eval, start + j, base, groups, options, control)
+                    })
+                })
+                .collect()
+        };
+        // serial coordination point: charge the block's (deterministic)
+        // work — one unit per item plus its greedy evaluations
+        let units: u64 = block.iter().map(|s| 1 + s.evaluations as u64).sum();
+        control.charge(units);
+        done.extend(block);
+    }
+    SelectionRun { selections: done, interrupted: None }
+}
+
+/// Assemble per-item selections into a [`CandidatePool`], in workload
+/// order (deterministic regardless of which thread produced each item).
+pub fn assemble_pool(selections: &[ItemSelection]) -> CandidatePool {
+    let mut pool = CandidatePool::default();
+    for sel in selections {
+        pool.generated += sel.generated;
+        pool.evaluations += sel.evaluations;
+        for s in &sel.chosen {
+            pool.add(s.clone(), sel.benefit);
+        }
+    }
+    pool
+}
+
+/// Convenience wrapper: run selection to completion (or `control`'s
+/// cut) and assemble the pool, tallying this stage's cache misses.
 pub fn select_candidates(
     eval: &CostEvaluator<'_>,
     base: &Configuration,
     groups: &ColumnGroups,
     options: &TuningOptions,
-    stop: &(dyn Fn() -> bool + Sync),
+    control: &SessionControl,
 ) -> CandidatePool {
-    let items = eval.items();
     let whatif_before = eval.whatif_calls();
-    let workers = options.parallel_workers.max(1).min(items.len().max(1));
-    let selections: Vec<ItemSelection> = if workers <= 1 || items.len() < 8 {
-        select_chunk(eval, 0..items.len(), base, groups, options, stop)
-    } else {
-        let chunk = items.len().div_ceil(workers);
-        let mut parts: Vec<Vec<ItemSelection>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut start = 0;
-            while start < items.len() {
-                let end = (start + chunk).min(items.len());
-                handles
-                    .push(scope.spawn(move || {
-                        select_chunk(eval, start..end, base, groups, options, stop)
-                    }));
-                start = end;
-            }
-            for h in handles {
-                parts.push(h.join().expect("candidate selection worker panicked"));
-            }
-        });
-        parts.into_iter().flatten().collect()
-    };
-
-    // assemble in workload order regardless of which thread did the work
-    let mut pool = CandidatePool::default();
-    for sel in selections {
-        pool.generated += sel.generated;
-        pool.evaluations += sel.evaluations;
-        for s in sel.chosen {
-            pool.add(s, sel.benefit);
-        }
-    }
+    let run = select_candidates_resumable(eval, base, groups, options, control, Vec::new());
+    let mut pool = assemble_pool(&run.selections);
     pool.whatif_calls = eval.whatif_calls() - whatif_before;
     pool
 }
 
-fn select_chunk(
+/// One item's selection with panic isolation. The evaluations inside
+/// [`select_item`] are already individually guarded (base cost here,
+/// greedy evaluations in `par_min`), so this outer net only catches
+/// panics in the glue around them: the whole item is re-run once (the
+/// cache keeps the rerun cheap) and a second panic degrades the item to
+/// an empty selection instead of tearing the session down.
+fn select_item_guarded(
     eval: &CostEvaluator<'_>,
-    range: std::ops::Range<usize>,
+    i: usize,
     base: &Configuration,
     groups: &ColumnGroups,
     options: &TuningOptions,
-    stop: &(dyn Fn() -> bool + Sync),
-) -> Vec<ItemSelection> {
-    let target = eval.target();
-    let items = eval.items();
-    let mut out: Vec<ItemSelection> = Vec::with_capacity(range.len());
-    for i in range {
-        if stop() {
-            break;
+    control: &SessionControl,
+) -> ItemSelection {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let attempt =
+        || catch_unwind(AssertUnwindSafe(|| select_item(eval, i, base, groups, options, control)));
+    match attempt() {
+        Ok(sel) => sel,
+        Err(_) => {
+            control.note_worker_restart();
+            attempt().unwrap_or_default()
         }
-        let item = &items[i];
-        let mut sel = ItemSelection::default();
-        let generated = generate_for_item(target, groups, options, item);
-        sel.generated = generated.len();
-        if generated.is_empty() {
-            out.push(sel);
-            continue;
-        }
-        let base_cost = match eval.item_cost(i, base) {
-            Ok(c) => c,
-            Err(_) => {
-                out.push(sel);
-                continue;
-            }
-        };
-        let eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
-            let mut cfg = base.clone();
-            for s in set {
-                cfg.add((*s).clone());
-            }
-            eval.item_cost(i, &cfg).ok()
-        };
-        // each worker runs its items' greedy searches serially; the
-        // session-level fan-out is across items here
-        let outcome =
-            greedy_mk(&generated, base_cost, options.greedy_m, options.greedy_k, 1, &eval_fn, stop);
-        sel.evaluations = outcome.evaluations;
-        if !outcome.chosen.is_empty() {
-            sel.benefit =
-                (base_cost - outcome.cost).max(0.0) * item.weight / outcome.chosen.len() as f64;
-            sel.chosen = outcome.chosen;
-        }
-        out.push(sel);
     }
-    out
+}
+
+fn select_item(
+    eval: &CostEvaluator<'_>,
+    i: usize,
+    base: &Configuration,
+    groups: &ColumnGroups,
+    options: &TuningOptions,
+    control: &SessionControl,
+) -> ItemSelection {
+    let item = &eval.items()[i];
+    let mut sel = ItemSelection::default();
+    let generated = generate_for_item(eval.target(), groups, options, item);
+    sel.generated = generated.len();
+    if generated.is_empty() {
+        return sel;
+    }
+    let base_cost = match crate::control::isolated(control, || eval.item_cost(i, base)) {
+        Some(Ok(c)) => c,
+        _ => return sel,
+    };
+    let eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
+        let mut cfg = base.clone();
+        for s in set {
+            cfg.add((*s).clone());
+        }
+        eval.item_cost(i, &cfg).ok()
+    };
+    // each item's greedy search runs serially (workers = 1); the
+    // session-level fan-out is across the block's items. The budget is
+    // charged at block boundaries, so mid-item the only stop is a cancel.
+    let stop = || control.is_cancelled();
+    let outcome =
+        greedy_mk(&generated, base_cost, options.greedy_m, options.greedy_k, 1, &eval_fn, &stop);
+    sel.evaluations = outcome.evaluations;
+    if !outcome.chosen.is_empty() {
+        sel.benefit =
+            (base_cost - outcome.cost).max(0.0) * item.weight / outcome.chosen.len() as f64;
+        sel.chosen = outcome.chosen;
+    }
+    sel
 }
 
 #[cfg(test)]
@@ -634,7 +747,13 @@ mod tests {
         let groups = groups_for(&s, &its);
         let opts = TuningOptions { parallel_workers: 1, ..Default::default() };
         let eval = CostEvaluator::new(&target, &its);
-        let pool = select_candidates(&eval, &Configuration::new(), &groups, &opts, &(|| false));
+        let pool = select_candidates(
+            &eval,
+            &Configuration::new(),
+            &groups,
+            &opts,
+            &SessionControl::unlimited(),
+        );
         assert!(!pool.candidates.is_empty());
         assert!(pool.evaluations > 0);
         for c in &pool.candidates {
@@ -663,7 +782,7 @@ mod tests {
             &Configuration::new(),
             &groups,
             &TuningOptions { parallel_workers: 1, ..Default::default() },
-            &(|| false),
+            &SessionControl::unlimited(),
         );
         let eval_parallel = CostEvaluator::new(&target, &its);
         let parallel = select_candidates(
@@ -671,7 +790,7 @@ mod tests {
             &Configuration::new(),
             &groups,
             &TuningOptions { parallel_workers: 4, ..Default::default() },
-            &(|| false),
+            &SessionControl::unlimited(),
         );
         // not just the same structures: the same order, benefits (to the
         // bit), selection counts, and cache-miss counts
@@ -684,6 +803,93 @@ mod tests {
         assert_eq!(serial.generated, parallel.generated);
         assert_eq!(serial.evaluations, parallel.evaluations);
         assert_eq!(serial.whatif_calls, parallel.whatif_calls);
+    }
+
+    #[test]
+    fn budgeted_selection_cuts_deterministically_and_resumes() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        // several blocks' worth of items
+        let mut its = Vec::new();
+        for _ in 0..6 {
+            its.extend(items());
+        }
+        let groups = groups_for(&s, &its);
+        let base = Configuration::new();
+
+        // the uninterrupted run, and the total work it charges
+        let eval = CostEvaluator::new(&target, &its);
+        let unlimited = SessionControl::unlimited();
+        let opts1 = TuningOptions { parallel_workers: 1, ..Default::default() };
+        let full =
+            select_candidates_resumable(&eval, &base, &groups, &opts1, &unlimited, Vec::new());
+        assert!(full.interrupted.is_none());
+        let total = unlimited.consumed();
+        assert!(total > 0);
+
+        // a mid-stage budget cuts at a block boundary — at the same item
+        // and with the same ledger at any worker count
+        let cut_at = |workers: usize| {
+            let eval = CostEvaluator::new(&target, &its);
+            let control = SessionControl::with_budget(total / 2);
+            let opts = TuningOptions { parallel_workers: workers, ..Default::default() };
+            let run =
+                select_candidates_resumable(&eval, &base, &groups, &opts, &control, Vec::new());
+            (run, control.consumed())
+        };
+        let (serial, consumed_serial) = cut_at(1);
+        let (parallel, consumed_parallel) = cut_at(4);
+        assert_eq!(serial.interrupted, Some(StopReason::BudgetExhausted));
+        assert_eq!(serial.selections, parallel.selections);
+        assert_eq!(consumed_serial, consumed_parallel);
+        assert!(serial.selections.len() < its.len(), "the cut is mid-stage");
+        assert_eq!(serial.selections.len() % SELECTION_BLOCK, 0, "cuts on block boundaries");
+
+        // resuming the prefix with fresh budget reproduces the full run
+        let eval = CostEvaluator::new(&target, &its);
+        let control = SessionControl::resumed(consumed_serial, None);
+        let opts4 = TuningOptions { parallel_workers: 4, ..Default::default() };
+        let resumed = select_candidates_resumable(
+            &eval,
+            &base,
+            &groups,
+            &opts4,
+            &control,
+            serial.selections.clone(),
+        );
+        assert!(resumed.interrupted.is_none());
+        assert_eq!(resumed.selections, full.selections);
+        assert_eq!(control.consumed(), total, "the resumed ledger lands on the same total");
+
+        // assembly is a pure fold: identical pools either way
+        let a = assemble_pool(&full.selections);
+        let b = assemble_pool(&resumed.selections);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (x, y) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(x.structure, y.structure);
+            assert_eq!(x.benefit.to_bits(), y.benefit.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing_but_does_not_fail() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let its = items();
+        let groups = groups_for(&s, &its);
+        let eval = CostEvaluator::new(&target, &its);
+        let control = SessionControl::with_budget(0);
+        let run = select_candidates_resumable(
+            &eval,
+            &Configuration::new(),
+            &groups,
+            &TuningOptions::default(),
+            &control,
+            Vec::new(),
+        );
+        assert_eq!(run.interrupted, Some(StopReason::BudgetExhausted));
+        assert!(run.selections.is_empty());
+        assert_eq!(eval.whatif_calls(), 0, "no budget, no server work");
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Session control: deterministic work budgets and cooperative
+//! cancellation (the anytime-tuning layer).
+//!
+//! The paper's DTA is explicitly interruptible — §2.1 lets the DBA bound
+//! tuning time, and a production advisor must hand back its best-so-far
+//! recommendation whenever asked. Wall-clock deadlines would make runs
+//! irreproducible, so the budget here is counted in *work units*: one
+//! unit is one configuration evaluation (a Greedy(m, k) `eval` call or a
+//! pre-costing item). Units are granted and charged only at serial
+//! coordination points — never from inside worker threads — so a given
+//! budget always cuts the search at exactly the same place regardless of
+//! thread count or interleaving. Same budget ⇒ byte-identical result.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a stage stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The deterministic work budget ran out.
+    BudgetExhausted,
+    /// The session's cancel flag was raised.
+    Cancelled,
+}
+
+/// Pipeline stages, in execution order (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Per-statement base-configuration costing before column groups.
+    PreCosting,
+    /// §2.2 column-group restriction.
+    ColumnGroups,
+    /// §5.2 statistics creation.
+    Statistics,
+    /// §2.2 per-query candidate selection.
+    CandidateSelection,
+    /// §2.2 candidate merging.
+    Merging,
+    /// §2.2/§4 enumeration.
+    Enumeration,
+}
+
+impl Stage {
+    /// Stable identifier used by the XML checkpoint schema.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Stage::PreCosting => "preCosting",
+            Stage::ColumnGroups => "columnGroups",
+            Stage::Statistics => "statistics",
+            Stage::CandidateSelection => "candidateSelection",
+            Stage::Merging => "merging",
+            Stage::Enumeration => "enumeration",
+        }
+    }
+
+    /// Inverse of [`Stage::as_str`]; `None` for unknown identifiers.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Some(match s {
+            "preCosting" => Stage::PreCosting,
+            "columnGroups" => Stage::ColumnGroups,
+            "statistics" => Stage::Statistics,
+            "candidateSelection" => Stage::CandidateSelection,
+            "merging" => Stage::Merging,
+            "enumeration" => Stage::Enumeration,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a tuning session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The pipeline ran to convergence.
+    Complete,
+    /// The work budget ran out in `stage`; the result is the best
+    /// configuration found up to that point (valid, storage-bounded,
+    /// never worse than the raw configuration).
+    BudgetExhausted {
+        /// Stage that was in progress when the budget ran out.
+        stage: Stage,
+    },
+    /// The session was cancelled in `stage`; best-so-far, as above.
+    Cancelled {
+        /// Stage that was in progress when the cancel flag was seen.
+        stage: Stage,
+    },
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Completion::Complete => write!(f, "complete"),
+            Completion::BudgetExhausted { stage } => {
+                write!(f, "budget exhausted during {stage}")
+            }
+            Completion::Cancelled { stage } => write!(f, "cancelled during {stage}"),
+        }
+    }
+}
+
+/// Cloneable handle that lets another thread (a DBA console, a signal
+/// handler) request cooperative cancellation of a running session.
+#[derive(Clone)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Raise the cancel flag; the session stops at its next poll point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-session control block: the work budget, the cancel flag, and the
+/// worker-restart telemetry the panic-isolation layer reports through.
+pub struct SessionControl {
+    budget: Option<u64>,
+    consumed: AtomicU64,
+    cancel: Arc<AtomicBool>,
+    worker_restarts: AtomicUsize,
+}
+
+impl SessionControl {
+    /// No budget: the session runs to convergence unless cancelled.
+    pub fn unlimited() -> Self {
+        SessionControl {
+            budget: None,
+            consumed: AtomicU64::new(0),
+            cancel: Arc::new(AtomicBool::new(false)),
+            worker_restarts: AtomicUsize::new(0),
+        }
+    }
+
+    /// A deterministic budget of `units` configuration evaluations.
+    pub fn with_budget(units: u64) -> Self {
+        SessionControl { budget: Some(units), ..SessionControl::unlimited() }
+    }
+
+    /// Rebuild control state for a resumed session: the checkpoint's
+    /// consumed units plus `extra` fresh units of budget.
+    pub fn resumed(consumed: u64, extra: Option<u64>) -> Self {
+        SessionControl {
+            budget: extra.map(|e| consumed.saturating_add(e)),
+            consumed: AtomicU64::new(consumed),
+            cancel: Arc::new(AtomicBool::new(false)),
+            worker_restarts: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Units consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::SeqCst)
+    }
+
+    /// A handle for requesting cancellation from another thread.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle(Arc::clone(&self.cancel))
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Unconditionally consume `units` (serial coordination points only;
+    /// overshoot past the budget is recorded, not prevented).
+    pub fn charge(&self, units: u64) {
+        self.consumed.fetch_add(units, Ordering::SeqCst);
+    }
+
+    /// Grant up to `want` units against the remaining budget and consume
+    /// the grant. Returns the number granted (`want` when unbudgeted,
+    /// `0` when exhausted or cancelled). Must only be called from serial
+    /// coordination points — the load/add pair is not atomic against a
+    /// concurrent granter, and budget determinism depends on a single
+    /// canonical grant order.
+    pub fn grant(&self, want: u64) -> u64 {
+        if self.is_cancelled() {
+            return 0;
+        }
+        match self.budget {
+            None => {
+                // unbudgeted grants still feed the ledger, so an
+                // unlimited run reports how much work a budget would need
+                self.consumed.fetch_add(want, Ordering::SeqCst);
+                want
+            }
+            Some(b) => {
+                let used = self.consumed.load(Ordering::SeqCst);
+                let granted = want.min(b.saturating_sub(used));
+                self.consumed.fetch_add(granted, Ordering::SeqCst);
+                granted
+            }
+        }
+    }
+
+    /// Poll point: should the current stage stop, and why? Cancellation
+    /// wins over budget exhaustion when both hold.
+    pub fn stop(&self) -> Option<StopReason> {
+        if self.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        match self.budget {
+            Some(b) if self.consumed.load(Ordering::SeqCst) >= b => {
+                Some(StopReason::BudgetExhausted)
+            }
+            _ => None,
+        }
+    }
+
+    /// Record that a parallel worker panicked and its slice was re-run
+    /// serially (panic-isolation telemetry).
+    pub fn note_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Number of worker restarts recorded so far.
+    pub fn worker_restarts(&self) -> usize {
+        self.worker_restarts.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for SessionControl {
+    fn default() -> Self {
+        SessionControl::unlimited()
+    }
+}
+
+/// Upper bound on panic retries for a single evaluation. Transient
+/// panics (e.g. injected what-if faults) fire once per call site, and a
+/// workload-level evaluation touches one site per statement, so each
+/// retry clears at least one site and any evaluation over at most this
+/// many statements converges to its no-fault result. An evaluation that
+/// still panics after the bound is treated as infeasible — degradation,
+/// never a hang and never an escaped panic.
+pub(crate) const MAX_PANIC_RETRIES: usize = 64;
+
+/// Run one evaluation under panic isolation: each panic is caught,
+/// reported through `note_restart`, and the evaluation re-issued, up to
+/// [`MAX_PANIC_RETRIES`] times. `None` means the evaluation never came
+/// back clean and the caller should degrade gracefully instead of
+/// tearing the session down.
+pub(crate) fn isolated_with<R>(note_restart: &dyn Fn(), f: impl Fn() -> R) -> Option<R> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    for _ in 0..=MAX_PANIC_RETRIES {
+        if let Ok(r) = catch_unwind(AssertUnwindSafe(&f)) {
+            return Some(r);
+        }
+        note_restart();
+    }
+    None
+}
+
+/// [`isolated_with`] reporting restarts straight into the session's
+/// panic-isolation telemetry.
+pub(crate) fn isolated<R>(control: &SessionControl, f: impl Fn() -> R) -> Option<R> {
+    isolated_with(&|| control.note_worker_restart(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let c = SessionControl::unlimited();
+        assert_eq!(c.stop(), None);
+        assert_eq!(c.grant(1000), 1000);
+        c.charge(1_000_000);
+        assert_eq!(c.stop(), None);
+    }
+
+    #[test]
+    fn budget_grants_prefix_then_exhausts() {
+        let c = SessionControl::with_budget(10);
+        assert_eq!(c.grant(6), 6);
+        assert_eq!(c.stop(), None);
+        assert_eq!(c.grant(6), 4, "only the remainder is granted");
+        assert_eq!(c.stop(), Some(StopReason::BudgetExhausted));
+        assert_eq!(c.grant(1), 0);
+        assert_eq!(c.consumed(), 10);
+    }
+
+    #[test]
+    fn zero_budget_stops_immediately() {
+        let c = SessionControl::with_budget(0);
+        assert_eq!(c.grant(5), 0);
+        assert_eq!(c.stop(), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn cancellation_beats_budget_and_blocks_grants() {
+        let c = SessionControl::with_budget(100);
+        c.charge(200);
+        let h = c.cancel_handle();
+        h.cancel();
+        assert!(h.is_cancelled());
+        assert_eq!(c.stop(), Some(StopReason::Cancelled));
+        assert_eq!(c.grant(1), 0);
+    }
+
+    #[test]
+    fn resumed_control_continues_the_ledger() {
+        let c = SessionControl::resumed(7, Some(3));
+        assert_eq!(c.consumed(), 7);
+        assert_eq!(c.budget(), Some(10));
+        assert_eq!(c.grant(5), 3);
+        assert_eq!(c.stop(), Some(StopReason::BudgetExhausted));
+        let unlimited = SessionControl::resumed(7, None);
+        assert_eq!(unlimited.grant(5), 5);
+    }
+
+    #[test]
+    fn worker_restart_telemetry() {
+        let c = SessionControl::unlimited();
+        c.note_worker_restart();
+        c.note_worker_restart();
+        assert_eq!(c.worker_restarts(), 2);
+    }
+
+    #[test]
+    fn stage_strings_roundtrip() {
+        for s in [
+            Stage::PreCosting,
+            Stage::ColumnGroups,
+            Stage::Statistics,
+            Stage::CandidateSelection,
+            Stage::Merging,
+            Stage::Enumeration,
+        ] {
+            assert_eq!(Stage::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Stage::parse("warpDrive"), None);
+    }
+
+    #[test]
+    fn completion_display() {
+        assert_eq!(Completion::Complete.to_string(), "complete");
+        assert_eq!(
+            Completion::BudgetExhausted { stage: Stage::Enumeration }.to_string(),
+            "budget exhausted during enumeration"
+        );
+        assert_eq!(
+            Completion::Cancelled { stage: Stage::PreCosting }.to_string(),
+            "cancelled during preCosting"
+        );
+    }
+}

@@ -37,13 +37,14 @@
 
 use crate::invariants;
 use dta_physical::{Configuration, PhysicalStructure};
-use dta_server::{ServerError, TuningTarget};
+use dta_server::{FaultKind, ServerError, TuningTarget};
+use dta_stats::RetryPolicy;
 use dta_workload::WorkloadItem;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A memoized what-if result for one (statement, projected config) pair.
 #[derive(Debug, Clone)]
@@ -54,6 +55,22 @@ struct CacheEntry {
     /// Secondary fingerprint for debug-build collision detection
     /// ([`invariants::check_fingerprint`]); 0 in release builds.
     verify: u64,
+}
+
+/// One exported cache entry, for checkpointing a session's warmed cache
+/// (resume imports these so it re-prices nothing it already priced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheExport {
+    /// Workload item index the entry belongs to.
+    pub item: usize,
+    /// Primary fingerprint of the projected configuration.
+    pub fingerprint: u64,
+    /// Cached optimizer estimate.
+    pub cost: f64,
+    /// Structures the cached plan uses.
+    pub used_structures: Vec<String>,
+    /// Secondary fingerprint (0 when the writer had invariants off).
+    pub verify: u64,
 }
 
 /// Caching cost evaluator over one tuning target and workload.
@@ -68,6 +85,19 @@ pub struct CostEvaluator<'a> {
     /// One cache shard per statement.
     shards: Vec<RwLock<HashMap<u64, CacheEntry>>>,
     whatif_calls: AtomicUsize,
+    /// Bounded-retry policy for transient what-if faults.
+    retry: RetryPolicy,
+    /// Transient what-if faults retried away.
+    retries: AtomicUsize,
+    /// Deterministic backoff accounting (units, not wall-clock sleeps).
+    backoff_units: AtomicU64,
+    /// Per-item fallback costs used when a statement degrades (its
+    /// pre-statistics base cost; 0.0 until the session sets them, and
+    /// 0.0 for an item whose pre-costing itself failed — constant per
+    /// item either way, so degraded items cancel out of comparisons).
+    fallbacks: RwLock<Vec<f64>>,
+    /// Items degraded to their fallback cost by permanent faults.
+    degraded: Mutex<BTreeSet<usize>>,
 }
 
 impl<'a> CostEvaluator<'a> {
@@ -93,6 +123,11 @@ impl<'a> CostEvaluator<'a> {
             item_tables,
             shards: (0..items.len()).map(|_| RwLock::new(HashMap::new())).collect(),
             whatif_calls: AtomicUsize::new(0),
+            retry: RetryPolicy::default(),
+            retries: AtomicUsize::new(0),
+            backoff_units: AtomicU64::new(0),
+            fallbacks: RwLock::new(Vec::new()),
+            degraded: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -200,25 +235,144 @@ impl<'a> CostEvaluator<'a> {
         invariants::check_shards(self.shards.len(), self.items.len(), i);
         let fp = self.fingerprint(i, config);
         if let Some(e) = self.shards[i].read().get(&fp) {
-            if invariants::ENABLED {
+            // imported checkpoint entries may carry verify == 0 when the
+            // writing build had invariants compiled out; skip the check
+            if invariants::ENABLED && e.verify != 0 {
                 invariants::check_fingerprint(e.verify, self.verify_fingerprint(i, config), i);
             }
             let used = if want_structures { e.used_structures.clone() } else { Vec::new() };
             return Ok((e.cost, used));
         }
+        if self.degraded.lock().contains(&i) {
+            // a permanent fault already degraded this statement: price
+            // every configuration at its constant fallback, no server call
+            let cost = self.fallback_cost(i);
+            let verify = if invariants::ENABLED { self.verify_fingerprint(i, config) } else { 0 };
+            self.shards[i]
+                .write()
+                .insert(fp, CacheEntry { cost, used_structures: Vec::new(), verify });
+            return Ok((cost, Vec::new()));
+        }
         let relevant = self.project(i, config);
         let item = &self.items[i];
-        // dta-lint: allow(R6): monotonic telemetry counter; racing misses
-        // may each add one, which is the intended semantics (calls issued).
-        self.whatif_calls.fetch_add(1, Ordering::Relaxed);
-        let plan = self.target.whatif(&item.database, &item.statement, &relevant)?;
-        let cost = plan.cost;
-        invariants::check_cost(cost, "what-if estimate");
-        let used_structures = plan.used_structures();
+        let mut attempt: u32 = 0;
+        let plan = loop {
+            // dta-lint: allow(R6): monotonic telemetry counter; racing
+            // misses may each add one, which is the intended semantics
+            // (calls issued).
+            self.whatif_calls.fetch_add(1, Ordering::Relaxed);
+            match self.target.whatif(&item.database, &item.statement, &relevant) {
+                Ok(plan) => break Some(plan),
+                Err(ServerError::Fault { kind: FaultKind::Transient, .. })
+                    if self.retry.allows_retry(attempt) =>
+                {
+                    // bounded retry with deterministic backoff accounting
+                    self.retries.fetch_add(1, Ordering::SeqCst);
+                    self.backoff_units
+                        .fetch_add(self.retry.backoff_units(attempt), Ordering::SeqCst);
+                    attempt += 1;
+                }
+                // permanent fault, or transient retries exhausted: degrade
+                // this statement to its fallback instead of aborting
+                Err(ServerError::Fault { .. }) => break None,
+                Err(other) => return Err(other),
+            }
+        };
+        let (cost, used_structures) = match plan {
+            Some(plan) => {
+                invariants::check_cost(plan.cost, "what-if estimate");
+                (plan.cost, plan.used_structures())
+            }
+            None => {
+                self.degraded.lock().insert(i);
+                (self.fallback_cost(i), Vec::new())
+            }
+        };
         let used = if want_structures { used_structures.clone() } else { Vec::new() };
         let verify = if invariants::ENABLED { self.verify_fingerprint(i, config) } else { 0 };
         self.shards[i].write().insert(fp, CacheEntry { cost, used_structures, verify });
         Ok((cost, used))
+    }
+
+    /// The constant fallback cost a degraded item is priced at.
+    fn fallback_cost(&self, i: usize) -> f64 {
+        self.fallbacks.read().get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Install per-item fallback costs (the pre-statistics base costs)
+    /// used when a permanent fault degrades a statement.
+    pub fn set_fallbacks(&self, costs: Vec<f64>) {
+        *self.fallbacks.write() = costs;
+    }
+
+    /// Transient what-if faults absorbed by retry.
+    pub fn retries(&self) -> usize {
+        self.retries.load(Ordering::SeqCst)
+    }
+
+    /// Deterministic backoff units accounted across all retries.
+    pub fn backoff_units(&self) -> u64 {
+        self.backoff_units.load(Ordering::SeqCst)
+    }
+
+    /// Item indexes degraded to their fallback cost by permanent faults,
+    /// in deterministic ascending order.
+    pub fn degraded_items(&self) -> Vec<usize> {
+        self.degraded.lock().iter().copied().collect()
+    }
+
+    /// Export the warmed cache for checkpointing, in deterministic
+    /// `(item, fingerprint)` order.
+    pub fn export_cache(&self) -> Vec<CacheExport> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read();
+            let mut keys: Vec<u64> = shard.keys().copied().collect();
+            keys.sort_unstable();
+            for fp in keys {
+                if let Some(e) = shard.get(&fp) {
+                    out.push(CacheExport {
+                        item: i,
+                        fingerprint: fp,
+                        cost: e.cost,
+                        used_structures: e.used_structures.clone(),
+                        verify: e.verify,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-warm the cache from a checkpoint and restore the session's
+    /// what-if telemetry so a resumed run's tallies continue where the
+    /// interrupted run left off.
+    pub fn import_cache(&self, entries: &[CacheExport], whatif_calls: usize) {
+        for e in entries {
+            if e.item < self.shards.len() {
+                invariants::check_cost(e.cost, "imported cache entry");
+                self.shards[e.item].write().insert(
+                    e.fingerprint,
+                    CacheEntry {
+                        cost: e.cost,
+                        used_structures: e.used_structures.clone(),
+                        verify: e.verify,
+                    },
+                );
+            }
+        }
+        self.whatif_calls.store(whatif_calls, Ordering::SeqCst);
+    }
+
+    /// Restore fault telemetry (retry tallies and the degraded set) from
+    /// a checkpoint.
+    pub fn restore_fault_state(&self, retries: usize, backoff_units: u64, degraded: &[usize]) {
+        self.retries.store(retries, Ordering::SeqCst);
+        self.backoff_units.store(backoff_units, Ordering::SeqCst);
+        let mut set = self.degraded.lock();
+        for &i in degraded {
+            set.insert(i);
+        }
     }
 
     /// Estimated cost of one item under `config`.

@@ -11,8 +11,9 @@
 //! front (the unscalable baseline kept for the ablation).
 
 use crate::candidates::Candidate;
+use crate::control::{SessionControl, StopReason};
 use crate::cost::CostEvaluator;
-use crate::greedy::greedy_mk;
+use crate::greedy::{greedy_mk_resumable, GreedySnapshot};
 use crate::options::{AlignmentMode, TuningOptions};
 use dta_physical::{Configuration, PhysicalStructure, RangePartitioning, SizingInfo};
 use std::collections::BTreeMap;
@@ -31,6 +32,26 @@ pub struct EnumerationResult {
     pub pool_size: usize,
     /// Aligned variants synthesized lazily during evaluation.
     pub lazy_variants: usize,
+}
+
+/// Enumeration progress captured in a checkpoint: the greedy cursor plus
+/// the lazy-variant tally at the cut (the pool ordering and any eager
+/// expansion are recomputed deterministically from the candidate pool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumerationResume {
+    /// The interrupted Greedy(m, k) state.
+    pub snapshot: GreedySnapshot,
+    /// Lazy aligned variants synthesized before the cut.
+    pub lazy_variants: usize,
+}
+
+/// The outcome of a budget-aware enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumerationRun {
+    /// Best configuration found, whether or not the run completed.
+    pub result: EnumerationResult,
+    /// `Some` when the budget or a cancellation cut the search short.
+    pub interrupted: Option<(StopReason, EnumerationResume)>,
 }
 
 /// Rewrite `config` so every table is aligned: each table's indexes take
@@ -155,7 +176,11 @@ pub fn eager_alignment_expansion(pool: &[PhysicalStructure]) -> Vec<PhysicalStru
 ///
 /// Greedy evaluations fan out over `options.parallel_workers` threads
 /// through the shared evaluator; results are identical at any worker
-/// count (see [`crate::greedy`]).
+/// count (see [`crate::greedy`]). Each evaluation charges one unit of
+/// `control`'s budget; on exhaustion the run returns best-so-far plus an
+/// [`EnumerationResume`] cursor, and a later call passing that cursor
+/// (with the same pool and a warmed cache) continues to the
+/// byte-identical uninterrupted answer.
 #[allow(clippy::too_many_arguments)]
 pub fn enumerate(
     eval: &CostEvaluator<'_>,
@@ -163,8 +188,9 @@ pub fn enumerate(
     pool: &[Candidate],
     sizing: &dyn SizingInfo,
     options: &TuningOptions,
-    stop: &(dyn Fn() -> bool + Sync),
-) -> EnumerationResult {
+    control: &SessionControl,
+    resume: Option<EnumerationResume>,
+) -> EnumerationRun {
     // order candidates by observed benefit (helps greedy find good seeds
     // early when the time budget cuts the search short)
     let mut ordered: Vec<&Candidate> = pool.iter().collect();
@@ -177,7 +203,11 @@ pub fn enumerate(
     }
 
     let base_bytes = base.total_bytes(sizing);
-    let lazy_variants = AtomicUsize::new(0);
+    let (lazy_seed, snapshot) = match resume {
+        Some(r) => (r.lazy_variants, Some(r.snapshot)),
+        None => (0, None),
+    };
+    let lazy_variants = AtomicUsize::new(lazy_seed);
 
     let assemble = |set: &[&PhysicalStructure]| -> Option<Configuration> {
         let mut cfg = base.clone();
@@ -229,32 +259,44 @@ pub fn enumerate(
         Some(cfg)
     };
 
-    let base_cost = eval.workload_cost(base).unwrap_or(f64::INFINITY);
+    let base_cost = crate::control::isolated(control, || eval.workload_cost(base))
+        .and_then(|r| r.ok())
+        .unwrap_or(f64::INFINITY);
     let eval_fn = |set: &[&PhysicalStructure]| -> Option<f64> {
         let cfg = assemble(set)?;
         eval.workload_cost(&cfg).ok()
     };
     let k = structures.len();
-    let outcome = greedy_mk(
+    let run = greedy_mk_resumable(
         &structures,
         base_cost,
         options.greedy_m,
         k,
         options.parallel_workers,
         &eval_fn,
-        stop,
+        control,
+        snapshot,
     );
 
-    let final_refs: Vec<&PhysicalStructure> = outcome.chosen.iter().collect();
+    // snapshot the tally at the cut BEFORE assembling the best-so-far
+    // configuration below: the final assembly's rewrites must not leak
+    // into the resume cursor, or a resumed run would double-count them
+    // dta-lint: allow(R6): all workers joined inside the greedy engine;
+    // this read races with nothing.
+    let lazy_at_cut = lazy_variants.load(Ordering::Relaxed);
+    let final_refs: Vec<&PhysicalStructure> = run.outcome.chosen.iter().collect();
     let configuration = assemble(&final_refs).unwrap_or_else(|| base.clone());
-    EnumerationResult {
-        configuration,
-        cost: outcome.cost,
-        evaluations: outcome.evaluations,
-        pool_size: structures.len(),
-        // dta-lint: allow(R6): all workers joined inside greedy_mk; this
-        // read races with nothing.
-        lazy_variants: lazy_variants.load(Ordering::Relaxed),
+    EnumerationRun {
+        result: EnumerationResult {
+            configuration,
+            cost: run.outcome.cost,
+            evaluations: run.outcome.evaluations,
+            pool_size: structures.len(),
+            lazy_variants: lazy_at_cut,
+        },
+        interrupted: run.interrupted.map(|(reason, snapshot)| {
+            (reason, EnumerationResume { snapshot, lazy_variants: lazy_at_cut })
+        }),
     }
 }
 

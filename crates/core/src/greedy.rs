@@ -16,8 +16,28 @@
 //! minimum by `(cost, position)`, so the earliest-generated entrant wins
 //! cost ties exactly as a serial left-to-right scan would. Parallel and
 //! serial runs therefore return bit-identical outcomes.
+//!
+//! Two robustness layers sit on top (anytime tuning):
+//!
+//! * **Panic isolation** — every evaluation runs under `catch_unwind`
+//!   (on the serial path too) and is retried until it comes back clean,
+//!   up to a fixed bound; transient panics fire once per call site, and
+//!   a workload-level evaluation crosses one site per statement, so each
+//!   retry clears at least one site and the evaluation converges to the
+//!   cost the clean schedule would have seen — the recommendation is
+//!   byte-identical with and without the mid-run rescue. A permanently
+//!   poisonous evaluation exhausts the bound and is skipped as
+//!   infeasible instead of killing the session.
+//! * **Deterministic budgets** — [`greedy_mk_resumable`] charges the
+//!   session's [`SessionControl`] one unit per evaluation, granted in
+//!   canonical-prefix batches at serial coordination points. Exhaustion
+//!   returns the best-so-far outcome plus a [`GreedySnapshot`] cursor
+//!   from which a later call continues to the byte-identical final
+//!   answer.
 
+use crate::control::{SessionControl, StopReason};
 use crate::det;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluate a subset. `None` means the subset is infeasible (e.g. over
@@ -26,7 +46,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// `Sync` because evaluations fan out across worker threads.
 pub type EvalFn<'e, S> = dyn Fn(&[&S]) -> Option<f64> + Sync + 'e;
 
-/// Polled between evaluations for time-bound tuning.
+/// Polled between evaluations for cancellation.
 pub type StopFn<'e> = dyn Fn() -> bool + Sync + 'e;
 
 /// Result of a Greedy(m, k) run.
@@ -38,37 +58,55 @@ pub struct GreedyOutcome<S> {
     pub cost: f64,
     /// Number of evaluations performed.
     pub evaluations: usize,
+    /// Parallel workers that panicked and had their slice re-run
+    /// serially (0 in a healthy run).
+    pub worker_restarts: usize,
 }
 
-/// Find the minimum of `f` over `0..n` by `(cost, position)`.
+/// Find the minimum of `f` over `0..n` by `(cost, position)`; returns the
+/// winner plus the number of evaluations performed.
 ///
 /// Positions where `f` returns `None` (infeasible) are skipped. `stop`
 /// is polled before each evaluation; on a stop, remaining positions are
 /// abandoned (each worker stops where it is). Position tie-breaking makes
 /// the reduction independent of thread count and interleaving: the result
 /// for a completed run is identical for any `workers`.
+///
+/// Every evaluation is individually isolated: each panic at a position
+/// is noted in `restarts` and the position retried, up to
+/// [`crate::control::MAX_PANIC_RETRIES`] times. A *transient* panic
+/// (fault injection, a recovering server — once per call site) then
+/// yields the cost the clean schedule would have seen, so the reduction
+/// — and hence the recommendation — is byte-identical with and without
+/// the mid-run rescue; only a position that never comes back clean
+/// degrades to "infeasible". The guard is identical on the serial and
+/// parallel paths, so no panic escapes at any worker count.
 fn par_min(
     n: usize,
     workers: usize,
-    evaluations: &AtomicUsize,
     stop: &StopFn<'_>,
+    restarts: &AtomicUsize,
     f: &(dyn Fn(usize) -> Option<f64> + Sync),
-) -> Option<(usize, f64)> {
-    let scan = |positions: &mut dyn Iterator<Item = usize>| -> Option<(usize, f64)> {
+) -> (Option<(usize, f64)>, usize) {
+    let scan = |positions: &mut dyn Iterator<Item = usize>| -> (Option<(usize, f64)>, usize) {
         let mut best: Option<(usize, f64)> = None;
+        let mut count = 0usize;
         for pos in positions {
             if stop() {
                 break;
             }
-            // dta-lint: allow(R6): monotonic telemetry counter; the value is
-            // only read after every worker has joined, so no ordering is
-            // needed for correctness.
-            evaluations.fetch_add(1, Ordering::Relaxed);
-            if let Some(cost) = f(pos) {
+            count += 1;
+            let outcome = crate::control::isolated_with(
+                &|| {
+                    restarts.fetch_add(1, Ordering::SeqCst);
+                },
+                || f(pos),
+            );
+            if let Some(Some(cost)) = outcome {
                 best = det::min_by_cost_position((pos, cost), best);
             }
         }
-        best
+        (best, count)
     };
     let workers = workers.max(1).min(n);
     if workers <= 1 {
@@ -76,15 +114,31 @@ fn par_min(
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|w| scope.spawn(move || scan(&mut ((w..n).step_by(workers)))))
+            .map(|w| {
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| scan(&mut ((w..n).step_by(workers)))))
+                })
+            })
             .collect();
         let mut best: Option<(usize, f64)> = None;
-        for h in handles {
-            if let Some(local) = h.join().expect("greedy worker panicked") {
+        let mut count = 0usize;
+        for (w, h) in handles.into_iter().enumerate() {
+            let (local, local_count) = match h.join() {
+                Ok(Ok(result)) => result,
+                // out-of-band: per-position guards make a worker-level
+                // panic (iterator machinery, thread spawn) vanishingly
+                // rare, but if it happens the slice is redone serially
+                _ => {
+                    restarts.fetch_add(1, Ordering::SeqCst);
+                    scan(&mut ((w..n).step_by(workers)))
+                }
+            };
+            count += local_count;
+            if let Some(local) = local {
                 best = det::min_by_cost_position(local, best);
             }
         }
-        best
+        (best, count)
     })
 }
 
@@ -115,7 +169,7 @@ fn subsets_up_to(n: usize, m: usize) -> Vec<Vec<usize>> {
 ///
 /// `base_cost` is the cost of the empty selection; a subset is only ever
 /// adopted if it strictly improves on the incumbent. `stop` is polled
-/// between evaluations for time-bound tuning.
+/// between evaluations for cancellation.
 pub fn greedy_mk<S: Clone + Sync>(
     candidates: &[S],
     base_cost: f64,
@@ -125,16 +179,10 @@ pub fn greedy_mk<S: Clone + Sync>(
     eval: &EvalFn<'_, S>,
     stop: &StopFn<'_>,
 ) -> GreedyOutcome<S> {
-    let evaluations = AtomicUsize::new(0);
+    let restarts = AtomicUsize::new(0);
+    let mut evaluations = 0usize;
     let mut best_set: Vec<usize> = Vec::new();
     let mut best_cost = base_cost;
-    let outcome = |best_set: &[usize], best_cost: f64| GreedyOutcome {
-        chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
-        cost: best_cost,
-        // dta-lint: allow(R6): read after par_min joined every worker;
-        // the counter is telemetry, not synchronization.
-        evaluations: evaluations.load(Ordering::Relaxed),
-    };
 
     // Phase 1: exhaustive over subsets of size 1..=m.
     let subsets = subsets_up_to(candidates.len(), m);
@@ -142,21 +190,17 @@ pub fn greedy_mk<S: Clone + Sync>(
         let refs: Vec<&S> = subsets[pos].iter().map(|&i| &candidates[i]).collect();
         eval(&refs)
     };
-    if let Some((pos, cost)) = par_min(subsets.len(), workers, &evaluations, stop, &eval_subset) {
+    let (winner, count) = par_min(subsets.len(), workers, stop, &restarts, &eval_subset);
+    evaluations += count;
+    if let Some((pos, cost)) = winner {
         if det::improves(cost, best_cost) {
             best_cost = cost;
             best_set = subsets[pos].clone();
         }
     }
-    if stop() {
-        return outcome(&best_set, best_cost);
-    }
 
     // Phase 2: greedy extension up to k, one winner per round.
-    while best_set.len() < k.max(m) {
-        if stop() {
-            break;
-        }
+    while !stop() && best_set.len() < k.max(m) {
         let remaining: Vec<usize> =
             (0..candidates.len()).filter(|i| !best_set.contains(i)).collect();
         if remaining.is_empty() {
@@ -169,7 +213,9 @@ pub fn greedy_mk<S: Clone + Sync>(
             let refs: Vec<&S> = set.iter().map(|&j| &candidates[j]).collect();
             eval(&refs)
         };
-        match par_min(remaining.len(), workers, &evaluations, stop, &eval_extension) {
+        let (winner, count) = par_min(remaining.len(), workers, stop, &restarts, &eval_extension);
+        evaluations += count;
+        match winner {
             Some((pos, cost)) if det::improves(cost, best_cost) => {
                 best_set.push(remaining[pos]);
                 best_cost = cost;
@@ -178,7 +224,244 @@ pub fn greedy_mk<S: Clone + Sync>(
         }
     }
 
-    outcome(&best_set, best_cost)
+    GreedyOutcome {
+        chosen: best_set.iter().map(|&i| candidates[i].clone()).collect(),
+        cost: best_cost,
+        evaluations,
+        worker_restarts: restarts.load(Ordering::SeqCst),
+    }
+}
+
+/// Where an interrupted Greedy(m, k) run stopped, in canonical-order
+/// coordinates that a resumed run can re-derive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GreedyCursor {
+    /// Mid Phase 1: `next` indexes the canonical subset list;
+    /// `round_best` is the `(position, cost)` front over subsets
+    /// `0..next` (not yet adopted — adoption happens when the phase
+    /// completes).
+    Phase1 {
+        /// Next canonical subset position to evaluate.
+        next: usize,
+        /// Best `(position, cost)` seen so far in the phase.
+        round_best: Option<(usize, f64)>,
+    },
+    /// Mid a Phase-2 round: `next` indexes the round's `remaining` list
+    /// (recomputed deterministically from the adopted set on resume).
+    Phase2 {
+        /// Next position in the round's `remaining` list.
+        next: usize,
+        /// Best `(position, cost)` seen so far in the round.
+        round_best: Option<(usize, f64)>,
+    },
+}
+
+/// Complete state of an interrupted Greedy(m, k) run: the adopted
+/// incumbent plus the in-flight round's cursor. Resuming from this with
+/// the same candidates and evaluator reproduces the uninterrupted run's
+/// answer bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedySnapshot {
+    /// Adopted candidate indexes, in pick order.
+    pub best_set: Vec<usize>,
+    /// Cost of the adopted set.
+    pub best_cost: f64,
+    /// Evaluations performed so far (across all prior runs).
+    pub evaluations: usize,
+    /// Where the in-flight round stopped.
+    pub cursor: GreedyCursor,
+}
+
+impl GreedySnapshot {
+    /// The state of a run that has not started yet.
+    pub fn fresh(base_cost: f64) -> Self {
+        GreedySnapshot {
+            best_set: Vec::new(),
+            best_cost: base_cost,
+            evaluations: 0,
+            cursor: GreedyCursor::Phase1 { next: 0, round_best: None },
+        }
+    }
+}
+
+/// Outcome of a budget-aware Greedy(m, k) run: the (possibly best-so-far)
+/// outcome, plus — when interrupted — the reason and a resume snapshot.
+#[derive(Debug, Clone)]
+pub struct GreedyRun<S> {
+    /// Best selection found, whether or not the run completed.
+    pub outcome: GreedyOutcome<S>,
+    /// `Some` when the run stopped early (budget or cancellation).
+    pub interrupted: Option<(StopReason, GreedySnapshot)>,
+}
+
+/// Budget-aware, resumable Greedy(m, k).
+///
+/// Each evaluation costs one unit of `control`'s budget. Units are
+/// granted in canonical-prefix batches from this (serial) coordination
+/// point, so a given budget always cuts the scan at the same position
+/// regardless of worker count. On exhaustion or cancellation the run
+/// returns its best-so-far outcome — if the in-flight round's front
+/// already improves on the incumbent it is included, since it is a valid
+/// selection — plus a [`GreedySnapshot`]; passing that snapshot back as
+/// `resume` (with more budget) continues the scan exactly where it
+/// stopped and yields the byte-identical uninterrupted answer.
+#[allow(clippy::too_many_arguments)] // the session's full budget context
+pub fn greedy_mk_resumable<S: Clone + Sync>(
+    candidates: &[S],
+    base_cost: f64,
+    m: usize,
+    k: usize,
+    workers: usize,
+    eval: &EvalFn<'_, S>,
+    control: &SessionControl,
+    resume: Option<GreedySnapshot>,
+) -> GreedyRun<S> {
+    let restarts = AtomicUsize::new(0);
+    let cancel_stop = || control.is_cancelled();
+    let mut snap = resume.unwrap_or_else(|| GreedySnapshot::fresh(base_cost));
+
+    // Scan positions `next..n` of the current round in granted batches.
+    // Returns the completed round's front, or `Err(reason)` leaving the
+    // cursor fields updated for the snapshot.
+    let run_round = |next: &mut usize,
+                     round_best: &mut Option<(usize, f64)>,
+                     n: usize,
+                     evaluations: &mut usize,
+                     f: &(dyn Fn(usize) -> Option<f64> + Sync)|
+     -> Result<(), StopReason> {
+        while *next < n {
+            let remaining = n - *next;
+            let granted = control.grant(remaining as u64) as usize;
+            if granted == 0 {
+                return Err(control.stop().map_or(StopReason::BudgetExhausted, |r| r));
+            }
+            let offset = *next;
+            let shifted = |p: usize| f(offset + p);
+            let (batch_best, _) = par_min(granted, workers, &cancel_stop, &restarts, &shifted);
+            // evaluations are accounted as the granted batch size — the
+            // deterministic figure — rather than the raced per-thread
+            // tally (they only differ under cancellation)
+            *evaluations += granted;
+            if let Some((pos, cost)) = batch_best {
+                *round_best = det::min_by_cost_position((pos + offset, cost), *round_best);
+            }
+            *next += granted;
+            if control.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        Ok(())
+    };
+
+    let interrupted = 'search: {
+        // Phase 1: exhaustive over subsets of size 1..=m.
+        if let GreedyCursor::Phase1 { mut next, mut round_best } = snap.cursor.clone() {
+            let subsets = subsets_up_to(candidates.len(), m);
+            let eval_subset = |pos: usize| -> Option<f64> {
+                let refs: Vec<&S> = subsets[pos].iter().map(|&i| &candidates[i]).collect();
+                eval(&refs)
+            };
+            let round = run_round(
+                &mut next,
+                &mut round_best,
+                subsets.len(),
+                &mut snap.evaluations,
+                &eval_subset,
+            );
+            if let Err(reason) = round {
+                snap.cursor = GreedyCursor::Phase1 { next, round_best };
+                break 'search Some(reason);
+            }
+            if let Some((pos, cost)) = round_best {
+                if det::improves(cost, snap.best_cost) {
+                    snap.best_cost = cost;
+                    snap.best_set = subsets[pos].clone();
+                }
+            }
+            snap.cursor = GreedyCursor::Phase2 { next: 0, round_best: None };
+        }
+
+        // Phase 2: greedy extension up to k, one winner per round.
+        loop {
+            if snap.best_set.len() >= k.max(m) {
+                break 'search None;
+            }
+            let remaining: Vec<usize> =
+                (0..candidates.len()).filter(|i| !snap.best_set.contains(i)).collect();
+            if remaining.is_empty() {
+                break 'search None;
+            }
+            let (mut next, mut round_best) = match snap.cursor {
+                GreedyCursor::Phase2 { next, round_best } => (next, round_best),
+                // unreachable by construction; treat as a fresh round
+                GreedyCursor::Phase1 { .. } => (0, None),
+            };
+            let incumbent = snap.best_set.clone();
+            let eval_extension = |pos: usize| -> Option<f64> {
+                let mut set = incumbent.clone();
+                set.push(remaining[pos]);
+                let refs: Vec<&S> = set.iter().map(|&j| &candidates[j]).collect();
+                eval(&refs)
+            };
+            let round = run_round(
+                &mut next,
+                &mut round_best,
+                remaining.len(),
+                &mut snap.evaluations,
+                &eval_extension,
+            );
+            if let Err(reason) = round {
+                snap.cursor = GreedyCursor::Phase2 { next, round_best };
+                break 'search Some(reason);
+            }
+            match round_best {
+                Some((pos, cost)) if det::improves(cost, snap.best_cost) => {
+                    snap.best_set.push(remaining[pos]);
+                    snap.best_cost = cost;
+                    snap.cursor = GreedyCursor::Phase2 { next: 0, round_best: None };
+                }
+                _ => break 'search None, // no further improvement
+            }
+        }
+    };
+
+    // Best-so-far: on interruption, an in-flight round's front that
+    // already improves on the incumbent is a valid selection — include
+    // it in the outcome (the snapshot keeps the raw incumbent so resume
+    // replays the round unchanged).
+    let (mut out_set, mut out_cost) = (snap.best_set.clone(), snap.best_cost);
+    if interrupted.is_some() {
+        match snap.cursor {
+            GreedyCursor::Phase1 { round_best: Some((pos, cost)), .. }
+                if det::improves(cost, out_cost) =>
+            {
+                out_set = subsets_up_to(candidates.len(), m)[pos].clone();
+                out_cost = cost;
+            }
+            GreedyCursor::Phase2 { round_best: Some((pos, cost)), .. }
+                if det::improves(cost, out_cost) =>
+            {
+                let remaining: Vec<usize> =
+                    (0..candidates.len()).filter(|i| !out_set.contains(i)).collect();
+                out_set.push(remaining[pos]);
+                out_cost = cost;
+            }
+            _ => {}
+        }
+    }
+
+    for _ in 0..restarts.load(Ordering::SeqCst) {
+        control.note_worker_restart();
+    }
+    GreedyRun {
+        outcome: GreedyOutcome {
+            chosen: out_set.iter().map(|&i| candidates[i].clone()).collect(),
+            cost: out_cost,
+            evaluations: snap.evaluations,
+            worker_restarts: restarts.load(Ordering::SeqCst),
+        },
+        interrupted: interrupted.map(|reason| (reason, snap)),
+    }
 }
 
 #[cfg(test)]
@@ -313,5 +596,132 @@ mod tests {
             assert_eq!(serial.cost.to_bits(), parallel.cost.to_bits(), "workers={workers}");
             assert_eq!(serial.evaluations, parallel.evaluations, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn panicking_position_degrades_to_infeasible() {
+        // position-dependent deterministic panic: the set containing
+        // candidate 5 blows up. With panic isolation the result must be
+        // byte-identical to the same surface with 5 marked infeasible.
+        let candidates: Vec<usize> = (0..12).collect();
+        let poisoned = |set: &[&usize]| {
+            if set.iter().any(|&&i| i == 5) {
+                panic!("deterministic poison");
+            }
+            let s: usize = set.iter().map(|&&i| i).sum();
+            Some(1000.0 - (13 * s % 97) as f64 - 20.0 * set.len() as f64)
+        };
+        let infeasible = |set: &[&usize]| {
+            if set.iter().any(|&&i| i == 5) {
+                return None;
+            }
+            let s: usize = set.iter().map(|&&i| i).sum();
+            Some(1000.0 - (13 * s % 97) as f64 - 20.0 * set.len() as f64)
+        };
+        let clean = greedy_mk(&candidates, 1000.0, 2, 5, 1, &infeasible, &no_stop());
+        for workers in [2, 4] {
+            // silence the default panic hook for the deliberate panics
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let g = greedy_mk(&candidates, 1000.0, 2, 5, workers, &poisoned, &no_stop());
+            std::panic::set_hook(prev);
+            assert!(g.worker_restarts > 0, "workers={workers}: no restart recorded");
+            assert_eq!(clean.chosen, g.chosen, "workers={workers}");
+            assert_eq!(clean.cost.to_bits(), g.cost.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn resumable_matches_plain_greedy_when_unbudgeted() {
+        let candidates: Vec<usize> = (0..10).collect();
+        let eval = |set: &[&usize]| {
+            let s: usize = set.iter().map(|&&i| i).sum();
+            Some(500.0 - (11 * s % 53) as f64 - 9.0 * set.len() as f64)
+        };
+        let plain = greedy_mk(&candidates, 500.0, 2, 5, 1, &eval, &no_stop());
+        let control = SessionControl::unlimited();
+        let run = greedy_mk_resumable(&candidates, 500.0, 2, 5, 1, &eval, &control, None);
+        assert!(run.interrupted.is_none());
+        assert_eq!(plain.chosen, run.outcome.chosen);
+        assert_eq!(plain.cost.to_bits(), run.outcome.cost.to_bits());
+        assert_eq!(plain.evaluations, run.outcome.evaluations);
+        assert_eq!(control.consumed() as usize, run.outcome.evaluations);
+    }
+
+    #[test]
+    fn budget_interrupt_then_resume_is_byte_identical() {
+        let candidates: Vec<usize> = (0..10).collect();
+        let eval = |set: &[&usize]| {
+            let s: usize = set.iter().map(|&&i| i).sum();
+            Some(500.0 - (11 * s % 53) as f64 - 9.0 * set.len() as f64)
+        };
+        let full = {
+            let control = SessionControl::unlimited();
+            greedy_mk_resumable(&candidates, 500.0, 2, 5, 3, &eval, &control, None)
+        };
+        assert!(full.interrupted.is_none());
+        let total = full.outcome.evaluations as u64;
+
+        // cut the run at every possible budget, resume with the rest, and
+        // demand the byte-identical final answer at a different thread
+        // count than the uninterrupted run
+        for cut in 0..total {
+            let c1 = SessionControl::with_budget(cut);
+            let first = greedy_mk_resumable(&candidates, 500.0, 2, 5, 1, &eval, &c1, None);
+            let (reason, snap) = match first.interrupted {
+                Some(pair) => pair,
+                None => panic!("budget {cut} of {total} should interrupt"),
+            };
+            assert_eq!(reason, StopReason::BudgetExhausted);
+            assert_eq!(snap.evaluations as u64, cut, "exactly the budget is spent");
+            let c2 = SessionControl::resumed(c1.consumed(), None);
+            let second = greedy_mk_resumable(&candidates, 500.0, 2, 5, 4, &eval, &c2, Some(snap));
+            assert!(second.interrupted.is_none(), "cut={cut}");
+            assert_eq!(full.outcome.chosen, second.outcome.chosen, "cut={cut}");
+            assert_eq!(full.outcome.cost.to_bits(), second.outcome.cost.to_bits(), "cut={cut}");
+            assert_eq!(full.outcome.evaluations, second.outcome.evaluations, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn interrupted_outcome_is_best_so_far_and_never_worse_than_base() {
+        let candidates: Vec<usize> = (0..8).collect();
+        let eval = |set: &[&usize]| {
+            let s: usize = set.iter().map(|&&i| i).sum();
+            Some(300.0 - (7 * s % 31) as f64 - 5.0 * set.len() as f64)
+        };
+        let full = {
+            let control = SessionControl::unlimited();
+            greedy_mk_resumable(&candidates, 300.0, 2, 4, 1, &eval, &control, None)
+        };
+        let total = full.outcome.evaluations as u64;
+        let mut last_cost = f64::INFINITY;
+        for cut in 0..=total {
+            let control = SessionControl::with_budget(cut);
+            let run = greedy_mk_resumable(&candidates, 300.0, 2, 4, 1, &eval, &control, None);
+            assert!(run.outcome.cost <= 300.0, "cut={cut}: anytime outcome worse than base");
+            // same budget twice ⇒ byte-identical
+            let control2 = SessionControl::with_budget(cut);
+            let rerun = greedy_mk_resumable(&candidates, 300.0, 2, 4, 2, &eval, &control2, None);
+            assert_eq!(run.outcome.chosen, rerun.outcome.chosen, "cut={cut}");
+            assert_eq!(run.outcome.cost.to_bits(), rerun.outcome.cost.to_bits(), "cut={cut}");
+            last_cost = last_cost.min(run.outcome.cost);
+        }
+        assert_eq!(last_cost.to_bits(), full.outcome.cost.to_bits());
+    }
+
+    #[test]
+    fn cancellation_interrupts_with_reason() {
+        let candidates: Vec<usize> = (0..6).collect();
+        let eval = |set: &[&usize]| Some(100.0 - set.len() as f64);
+        let control = SessionControl::unlimited();
+        control.cancel_handle().cancel();
+        let run = greedy_mk_resumable(&candidates, 100.0, 2, 4, 1, &eval, &control, None);
+        match run.interrupted {
+            Some((StopReason::Cancelled, _)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert!(run.outcome.chosen.is_empty());
+        assert_eq!(run.outcome.cost, 100.0);
     }
 }

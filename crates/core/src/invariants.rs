@@ -34,6 +34,9 @@ pub const ENABLED: bool = cfg!(debug_assertions);
 #[cold]
 #[inline(never)]
 fn violation(what: &str, detail: &str) -> ! {
+    // dta-lint: allow(R7): the debug-build sanitizer exists to crash
+    // loudly on corrupted internal state; release builds compile every
+    // caller away, so this panic can never escape a production tune().
     panic!("dta invariant violated [{what}]: {detail}");
 }
 

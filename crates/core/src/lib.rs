@@ -18,7 +18,9 @@
 //! optimizer would use if implemented.
 
 pub mod candidates;
+pub mod checkpoint;
 pub mod colgroups;
+pub mod control;
 pub mod cost;
 pub mod det;
 pub mod enumeration;
@@ -29,6 +31,10 @@ pub mod options;
 pub mod report;
 pub mod session;
 
+pub use checkpoint::{SessionCheckpoint, StatsProgress};
+pub use control::{CancelHandle, Completion, SessionControl, Stage, StopReason};
 pub use options::{AlignmentMode, FeatureSet, TuningOptions};
 pub use report::{EvaluationReport, StatementReport, TuningResult};
-pub use session::{evaluate_configuration, tune, workload_cost};
+pub use session::{
+    evaluate_configuration, tune, tune_resume, tune_with_control, workload_cost, TuneError,
+};

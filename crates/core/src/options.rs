@@ -64,9 +64,13 @@ pub struct TuningOptions {
     /// Optional bound on the total storage of the recommendation,
     /// in bytes (§2.1).
     pub storage_bytes: Option<u64>,
-    /// Optional bound on tuning work, in the target's work units
-    /// (time-bound tuning, §2.1).
-    pub time_budget_units: Option<f64>,
+    /// Optional bound on tuning work, counted in configuration
+    /// evaluations (time-bound tuning, §2.1). Deterministic by
+    /// construction: the same budget cuts the search at the same point
+    /// on every run and at any thread count, so budget-bounded
+    /// recommendations are byte-identical and resumable (see DESIGN.md
+    /// §9, "Robustness architecture").
+    pub work_budget_units: Option<u64>,
     /// Alignment constraint (§4).
     pub alignment: AlignmentMode,
     /// A user-specified partial configuration that must be contained in
@@ -97,7 +101,7 @@ impl Default for TuningOptions {
         Self {
             features: FeatureSet::all(),
             storage_bytes: None,
-            time_budget_units: None,
+            work_budget_units: None,
             alignment: AlignmentMode::None,
             user_specified: None,
             compress: true,
@@ -128,6 +132,12 @@ impl TuningOptions {
     /// Convenience: require aligned partitioning.
     pub fn with_alignment(mut self) -> Self {
         self.alignment = AlignmentMode::Lazy;
+        self
+    }
+
+    /// Convenience: bound tuning work (anytime tuning, §2.1).
+    pub fn with_work_budget(mut self, units: u64) -> Self {
+        self.work_budget_units = Some(units);
         self
     }
 }

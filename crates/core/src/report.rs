@@ -1,5 +1,7 @@
 //! Tuning results and analysis reports (§6.3).
 
+use crate::checkpoint::SessionCheckpoint;
+use crate::control::Completion;
 use dta_physical::Configuration;
 use std::fmt;
 
@@ -40,6 +42,24 @@ pub struct TuningResult {
     pub tuning_work_units: f64,
     /// Incremental storage of the recommendation, in bytes.
     pub storage_bytes: u64,
+    /// How the session ended: ran to convergence, budget exhausted, or
+    /// cancelled. Even the early endings return a valid, storage-bound,
+    /// never-worse-than-raw configuration (anytime tuning).
+    pub completion: Completion,
+    /// Parallel workers that panicked and had their slice re-run
+    /// serially (panic isolation; 0 in a healthy session).
+    pub worker_restarts: usize,
+    /// Transient server faults absorbed by bounded retry.
+    pub whatif_retries: usize,
+    /// Deterministic backoff units accounted across those retries.
+    pub retry_backoff_units: u64,
+    /// Statements degraded to their pre-statistics cost by permanent
+    /// faults (their what-if calls kept failing; the session continued
+    /// without them instead of aborting).
+    pub degraded_statements: Vec<String>,
+    /// Session checkpoint for [`crate::tune_resume`], present only when
+    /// the budget ran out (`Completion::BudgetExhausted`).
+    pub checkpoint: Option<Box<SessionCheckpoint>>,
 }
 
 impl TuningResult {
@@ -82,6 +102,25 @@ impl fmt::Display for TuningResult {
             self.stats_requested, self.stats_created, self.stats_work_units
         )?;
         writeln!(f, "  storage: {:.1} MB", self.storage_bytes as f64 / (1 << 20) as f64)?;
+        if self.completion != Completion::Complete {
+            writeln!(f, "  completion: {} (best-so-far recommendation)", self.completion)?;
+        }
+        if self.worker_restarts > 0 {
+            writeln!(f, "  worker restarts (panic isolation): {}", self.worker_restarts)?;
+        }
+        if self.whatif_retries > 0 {
+            writeln!(
+                f,
+                "  transient faults retried: {} ({} backoff units)",
+                self.whatif_retries, self.retry_backoff_units
+            )?;
+        }
+        if !self.degraded_statements.is_empty() {
+            writeln!(f, "  degraded statements (permanent faults):")?;
+            for s in &self.degraded_statements {
+                writeln!(f, "    {}", truncate(s, 80))?;
+            }
+        }
         write!(f, "{}", self.recommendation)
     }
 }
@@ -200,6 +239,12 @@ mod tests {
             stats_work_units: 77.0,
             tuning_work_units: 999.0,
             storage_bytes: 10 << 20,
+            completion: Completion::Complete,
+            worker_restarts: 0,
+            whatif_retries: 0,
+            retry_backoff_units: 0,
+            degraded_statements: Vec::new(),
+            checkpoint: None,
         }
     }
 
@@ -220,6 +265,26 @@ mod tests {
         assert!(text.contains("75.0%"));
         assert!(text.contains("what-if"));
         assert!(text.contains("10.0 MB"));
+    }
+
+    #[test]
+    fn display_reports_robustness_events() {
+        use crate::control::Stage;
+        let mut r = result();
+        r.completion = Completion::BudgetExhausted { stage: Stage::Enumeration };
+        r.worker_restarts = 1;
+        r.whatif_retries = 3;
+        r.retry_backoff_units = 7;
+        r.degraded_statements = vec!["SELECT broken FROM t".to_string()];
+        let text = r.to_string();
+        assert!(text.contains("budget exhausted during enumeration"), "{text}");
+        assert!(text.contains("worker restarts"), "{text}");
+        assert!(text.contains("transient faults retried: 3 (7 backoff units)"), "{text}");
+        assert!(text.contains("SELECT broken FROM t"), "{text}");
+        // a clean run stays quiet about all of it
+        let clean = result().to_string();
+        assert!(!clean.contains("completion:"), "{clean}");
+        assert!(!clean.contains("restarts"), "{clean}");
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! The tuning session: Figure 1's pipeline end to end.
+//! The tuning session: Figure 1's pipeline end to end, wrapped in the
+//! robustness layer (DESIGN.md §9) — deterministic work budgets,
+//! cooperative cancellation, fault retry/degradation, and
+//! checkpoint/resume.
 
-use crate::candidates::select_candidates;
+use crate::candidates::{assemble_pool, select_candidates_resumable, ItemSelection};
+use crate::checkpoint::{SessionCheckpoint, StatsProgress};
 use crate::colgroups::interesting_column_groups;
+use crate::control::{Completion, SessionControl, Stage, StopReason};
 use crate::cost::CostEvaluator;
-use crate::enumeration::enumerate;
+use crate::enumeration::{enumerate, EnumerationResult, EnumerationResume};
 use crate::merging::merge_candidates;
 use crate::options::TuningOptions;
 use crate::report::{EvaluationReport, StatementReport, TuningResult};
@@ -20,6 +25,8 @@ pub enum TuneError {
     InvalidUserConfiguration(Vec<dta_physical::ValidityError>),
     /// A server interaction failed.
     Server(ServerError),
+    /// A resume was handed a structurally inconsistent checkpoint.
+    InvalidCheckpoint(String),
 }
 
 impl std::fmt::Display for TuneError {
@@ -27,17 +34,28 @@ impl std::fmt::Display for TuneError {
         match self {
             TuneError::InvalidUserConfiguration(errs) => {
                 write!(f, "invalid user-specified configuration: ")?;
-                for e in errs {
-                    write!(f, "{e}; ")?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
                 }
                 Ok(())
             }
             TuneError::Server(e) => write!(f, "server error: {e}"),
+            TuneError::InvalidCheckpoint(m) => write!(f, "invalid checkpoint: {m}"),
         }
     }
 }
 
-impl std::error::Error for TuneError {}
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::Server(e) => Some(e),
+            TuneError::InvalidUserConfiguration(_) | TuneError::InvalidCheckpoint(_) => None,
+        }
+    }
+}
 
 impl From<ServerError> for TuneError {
     fn from(e: ServerError) -> Self {
@@ -56,13 +74,102 @@ pub fn workload_cost(
 }
 
 /// Run a full tuning session.
+///
+/// When `options.work_budget_units` is set, the session stops once the
+/// budget is consumed and returns its best-so-far recommendation plus a
+/// [`SessionCheckpoint`] (anytime tuning); pass that checkpoint to
+/// [`tune_resume`] to continue. The budget is deterministic: the same
+/// budget cuts the search at the same point on every run and at any
+/// `parallel_workers` setting.
 pub fn tune(
     target: &TuningTarget<'_>,
     workload: &Workload,
     options: &TuningOptions,
 ) -> Result<TuningResult, TuneError> {
+    let control = match options.work_budget_units {
+        Some(units) => SessionControl::with_budget(units),
+        None => SessionControl::unlimited(),
+    };
+    tune_with_control(target, workload, options, &control)
+}
+
+/// Run a tuning session under an externally owned [`SessionControl`] —
+/// the caller keeps the [`crate::CancelHandle`] and can cancel the
+/// session from another thread. The control's own budget is used;
+/// `options.work_budget_units` is only consulted by [`tune`].
+pub fn tune_with_control(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    options: &TuningOptions,
+    control: &SessionControl,
+) -> Result<TuningResult, TuneError> {
+    // §5.1 workload compression
+    let (tuned_workload, _partitions) = if options.compress {
+        let out = compress(workload, options.compression);
+        (out.compressed, out.partitions)
+    } else {
+        (workload.clone(), workload.len())
+    };
+    run_session(
+        target,
+        options,
+        control,
+        &tuned_workload,
+        workload.len(),
+        workload.total_events(),
+        None,
+    )
+}
+
+/// Continue a budget-exhausted session from its checkpoint, with
+/// `extra_budget` fresh work units (`None` = run to convergence).
+///
+/// The resumed session prices through the checkpoint's warmed cache and
+/// replays no completed work, and — against the same tuning target — its
+/// final recommendation *and report* are byte-identical to what an
+/// uninterrupted run with a sufficient budget would have produced.
+pub fn tune_resume(
+    target: &TuningTarget<'_>,
+    checkpoint: &SessionCheckpoint,
+    extra_budget: Option<u64>,
+) -> Result<TuningResult, TuneError> {
+    checkpoint.validate().map_err(TuneError::InvalidCheckpoint)?;
+    let control = SessionControl::resumed(checkpoint.consumed_units, extra_budget);
+    run_session(
+        target,
+        &checkpoint.options,
+        &control,
+        &checkpoint.workload,
+        checkpoint.total_statements,
+        checkpoint.total_events,
+        Some(checkpoint),
+    )
+}
+
+/// The pipeline proper, shared by fresh and resumed sessions.
+///
+/// Budget discipline: pre-costing charges one unit per statement,
+/// candidate selection charges per block (see
+/// [`crate::candidates::SELECTION_BLOCK`]), enumeration charges one unit
+/// per evaluation in granted prefixes; column groups, statistics, and
+/// merging are poll-only stages. All charging happens at serial
+/// coordination points, so a budget cuts at the same place at any worker
+/// count. On exhaustion, the checkpoint is captured *before* the
+/// epilogue prices the best-so-far report, keeping report-only work out
+/// of the resumed session's ledger.
+fn run_session(
+    target: &TuningTarget<'_>,
+    options: &TuningOptions,
+    control: &SessionControl,
+    tuned_workload: &Workload,
+    total_statements: usize,
+    total_events: f64,
+    resume: Option<&SessionCheckpoint>,
+) -> Result<TuningResult, TuneError> {
     let whatif_server = target.whatif_server();
-    let tuning_start_units = whatif_server.overhead_units();
+    let overhead_start = whatif_server.overhead_units();
+    let prior_work_units = resume.map_or(0.0, |c| c.tuning_work_units);
+    let prior_restarts = resume.map_or(0, |c| c.worker_restarts);
 
     // base configuration: constraint-enforcing indexes + the (validated)
     // user-specified configuration
@@ -75,97 +182,232 @@ pub fn tune(
         base = base.union(user);
     }
 
-    // §5.1 workload compression
-    let (tuned_workload, _partitions) = if options.compress {
-        let out = compress(workload, options.compression);
-        (out.compressed, out.partitions)
-    } else {
-        (workload.clone(), workload.len())
-    };
     let items = &tuned_workload.items;
 
     // ONE shared, thread-safe evaluator serves the whole session:
     // pre-cost estimation, candidate selection, and enumeration all hit
     // the same cache, and its miss counter is the session's what-if tally
     let eval = CostEvaluator::new(target, items);
-
-    // preliminary base costs (pre-statistics) for column-group weighting
-    let mut pre_costs = Vec::with_capacity(items.len());
-    for i in 0..items.len() {
-        pre_costs.push(eval.item_cost(i, &base).map_err(TuneError::Server)?);
+    if let Some(cp) = resume {
+        eval.import_cache(&cp.cache, cp.whatif_calls);
+        eval.restore_fault_state(cp.whatif_retries, cp.retry_backoff_units, &cp.degraded);
     }
 
-    // §2.2 column-group restriction
-    let groups = interesting_column_groups(
-        target.catalog(),
-        items,
-        &pre_costs,
-        options.colgroup_cost_threshold,
-    );
+    // progress state, seeded from the checkpoint on resume
+    let mut pre_costs: Vec<f64> = resume.map_or_else(Vec::new, |c| c.pre_costs.clone());
+    let mut stats_progress: Option<StatsProgress> = resume.and_then(|c| c.stats);
+    let resume_selections: Vec<ItemSelection> =
+        resume.and_then(|c| c.selections.clone()).unwrap_or_default();
+    let resume_enumeration: Option<EnumerationResume> = resume.and_then(|c| c.enumeration.clone());
 
-    // §5.2 statistics for the interesting groups (histograms come from
-    // singleton groups; densities from the multi-column ones)
-    let mut required: Vec<StatKey> = Vec::new();
-    let mut table_keys: BTreeSet<(String, String)> = BTreeSet::new();
-    for item in items.iter() {
-        for t in item.statement.referenced_tables() {
-            table_keys.insert((item.database.clone(), t.to_string()));
+    let mut selections: Option<Vec<ItemSelection>> = None;
+    let mut candidates_selected = 0usize;
+    let mut enum_result: Option<EnumerationResult> = None;
+    let mut enum_cursor: Option<EnumerationResume> = None;
+
+    let cut: Option<(StopReason, Stage)> = 'pipeline: {
+        // preliminary base costs (pre-statistics) for column-group
+        // weighting — one budget unit per statement
+        while pre_costs.len() < items.len() {
+            if let Some(reason) = control.stop() {
+                break 'pipeline Some((reason, Stage::PreCosting));
+            }
+            let i = pre_costs.len();
+            // panic isolation, pre-costing edition: a panicking what-if
+            // call (fault injection, a poisoned optimizer) is caught,
+            // reported as a worker restart, and re-issued until it comes
+            // back clean — the same rescue the parallel stages get
+            let cost = crate::control::isolated(control, || eval.item_cost(i, &base))
+                .unwrap_or_else(|| {
+                    Err(ServerError::Fault {
+                        kind: dta_server::FaultKind::Permanent,
+                        what: "pre-costing what-if panicked twice".into(),
+                    })
+                });
+            pre_costs.push(cost.map_err(TuneError::Server)?);
+            control.charge(1);
         }
-    }
-    for (db, table) in &table_keys {
-        for group in groups.for_table(db, table) {
-            let cols: Vec<String> = group.iter().cloned().collect();
-            required.push(StatKey { database: db.clone(), table: table.clone(), columns: cols });
-        }
-    }
-    let stats_report = target.ensure_statistics(&required, options.reduce_statistics);
-    if stats_report.created > 0 {
-        // new statistics change what-if estimates; pre-statistics cached
-        // costs are stale and must not leak into the search
-        eval.invalidate();
-    }
+        // the pre-statistics base costs double as the per-item fallbacks
+        // a permanent fault degrades a statement to
+        eval.set_fallbacks(pre_costs.clone());
 
-    // time-bound tuning: stop when the what-if server has spent the budget
-    let budget = options.time_budget_units;
-    let stop = move || match budget {
-        Some(b) => whatif_server.overhead_units() - tuning_start_units >= b,
-        None => false,
+        // §2.2 column-group restriction (pure computation; poll-only)
+        if let Some(reason) = control.stop() {
+            break 'pipeline Some((reason, Stage::ColumnGroups));
+        }
+        let groups = interesting_column_groups(
+            target.catalog(),
+            items,
+            &pre_costs,
+            options.colgroup_cost_threshold,
+        );
+
+        // §5.2 statistics for the interesting groups (histograms come
+        // from singleton groups; densities from the multi-column ones).
+        // A resumed session whose checkpoint passed this stage reuses
+        // the stored numbers: the statistics already exist on the target
+        // and the imported cache is post-statistics.
+        if stats_progress.is_none() {
+            if let Some(reason) = control.stop() {
+                break 'pipeline Some((reason, Stage::Statistics));
+            }
+            let mut required: Vec<StatKey> = Vec::new();
+            let mut table_keys: BTreeSet<(String, String)> = BTreeSet::new();
+            for item in items.iter() {
+                for t in item.statement.referenced_tables() {
+                    table_keys.insert((item.database.clone(), t.to_string()));
+                }
+            }
+            for (db, table) in &table_keys {
+                for group in groups.for_table(db, table) {
+                    let cols: Vec<String> = group.iter().cloned().collect();
+                    required.push(StatKey {
+                        database: db.clone(),
+                        table: table.clone(),
+                        columns: cols,
+                    });
+                }
+            }
+            let report = target.ensure_statistics(&required, options.reduce_statistics);
+            if report.created > 0 {
+                // new statistics change what-if estimates; pre-statistics
+                // cached costs are stale and must not leak into the search
+                eval.invalidate();
+            }
+            stats_progress = Some(StatsProgress {
+                requested: report.requested,
+                created: report.created,
+                work_units: report.work_units,
+                failed: report.failed,
+                retries: report.retries,
+                backoff_units: report.backoff_units,
+            });
+        }
+
+        // §2.2 candidate selection (per query, block-budgeted, possibly
+        // parallel within each block)
+        let run =
+            select_candidates_resumable(&eval, &base, &groups, options, control, resume_selections);
+        let interrupted = run.interrupted;
+        selections = Some(run.selections);
+        if let Some(reason) = interrupted {
+            break 'pipeline Some((reason, Stage::CandidateSelection));
+        }
+        let mut pool = assemble_pool(selections.as_deref().unwrap_or(&[]));
+
+        // §2.2 merging (pure; poll-only)
+        if let Some(reason) = control.stop() {
+            break 'pipeline Some((reason, Stage::Merging));
+        }
+        merge_candidates(&mut pool);
+        candidates_selected = pool.candidates.len();
+
+        // §2.2/§4 enumeration — shares the selection phase's cache and
+        // charges one budget unit per configuration evaluation
+        let erun = enumerate(
+            &eval,
+            &base,
+            &pool.candidates,
+            whatif_server,
+            options,
+            control,
+            resume_enumeration,
+        );
+        enum_result = Some(erun.result);
+        if let Some((reason, cursor)) = erun.interrupted {
+            enum_cursor = Some(cursor);
+            break 'pipeline Some((reason, Stage::Enumeration));
+        }
+        None
     };
 
-    // §2.2 candidate selection (per query, possibly parallel)
-    let mut pool = select_candidates(&eval, &base, &groups, options, &stop);
+    // A budget-exhausted session checkpoints *before* the epilogue below
+    // prices the report, so no report-only cache entries or tallies leak
+    // into the resumed ledger.
+    let checkpoint = match cut {
+        Some((StopReason::BudgetExhausted, stage)) => Some(Box::new(SessionCheckpoint {
+            options: options.clone(),
+            workload: tuned_workload.clone(),
+            total_statements,
+            total_events,
+            stage,
+            consumed_units: control.consumed(),
+            tuning_work_units: prior_work_units + (whatif_server.overhead_units() - overhead_start),
+            pre_costs: pre_costs.clone(),
+            stats: stats_progress,
+            selections: selections.clone(),
+            enumeration: enum_cursor.clone(),
+            cache: eval.export_cache(),
+            whatif_calls: eval.whatif_calls(),
+            worker_restarts: prior_restarts + control.worker_restarts(),
+            whatif_retries: eval.retries(),
+            retry_backoff_units: eval.backoff_units(),
+            degraded: eval.degraded_items(),
+        })),
+        _ => None,
+    };
+    let completion = match cut {
+        None => Completion::Complete,
+        Some((StopReason::BudgetExhausted, stage)) => Completion::BudgetExhausted { stage },
+        Some((StopReason::Cancelled, stage)) => Completion::Cancelled { stage },
+    };
 
-    // §2.2 merging
-    merge_candidates(&mut pool);
-    let candidates_selected = pool.candidates.len();
+    // Epilogue: price the best-so-far recommendation. Anytime guarantee:
+    // whatever the cut, the recommendation is a valid configuration, it
+    // respects the storage bound and alignment (enumeration enforces
+    // both; earlier cuts return the base configuration), and it is never
+    // worse than the raw configuration.
+    let base_cost = crate::control::isolated(control, || eval.workload_cost(&base))
+        .unwrap_or_else(|| {
+            Err(ServerError::Fault {
+                kind: dta_server::FaultKind::Permanent,
+                what: "base-configuration pricing panicked twice".into(),
+            })
+        })
+        .map_err(TuneError::Server)?;
+    let (recommendation, recommended_cost, pool_size, lazy_variants, enum_evaluations) =
+        match enum_result {
+            Some(r) => (r.configuration, r.cost, r.pool_size, r.lazy_variants, r.evaluations),
+            None => (base.clone(), base_cost, 0, 0, 0),
+        };
 
-    // §2.2/§4 enumeration — shares the selection phase's cache
-    let base_cost = eval.workload_cost(&base).map_err(TuneError::Server)?;
-    let enumeration = enumerate(&eval, &base, &pool.candidates, whatif_server, options, &stop);
+    let storage_bytes =
+        recommendation.total_bytes(whatif_server).saturating_sub(base.total_bytes(whatif_server));
 
-    let storage_bytes = enumeration
-        .configuration
-        .total_bytes(whatif_server)
-        .saturating_sub(base.total_bytes(whatif_server));
+    let partial_pool = assemble_pool(selections.as_deref().unwrap_or(&[]));
+    if candidates_selected == 0 {
+        // merging never ran (the cut hit at or before it); report the
+        // unmerged tally of the partial pool
+        candidates_selected = partial_pool.candidates.len();
+    }
+    let stats = stats_progress.unwrap_or_default();
+    let degraded_statements: Vec<String> =
+        eval.degraded_items().iter().map(|&i| items[i].statement.to_string()).collect();
 
     Ok(TuningResult {
-        recommendation: enumeration.configuration,
+        recommendation,
         base_cost,
-        recommended_cost: enumeration.cost.min(base_cost),
+        recommended_cost: recommended_cost.min(base_cost),
         statements_tuned: items.len(),
-        total_statements: workload.len(),
-        total_events: workload.total_events(),
+        total_statements,
+        total_events,
         whatif_calls: eval.whatif_calls(),
-        evaluations: pool.evaluations + enumeration.evaluations,
-        candidates_generated: pool.generated,
+        evaluations: partial_pool.evaluations + enum_evaluations,
+        candidates_generated: partial_pool.generated,
         candidates_selected,
-        pool_size: enumeration.pool_size,
-        lazy_variants: enumeration.lazy_variants,
-        stats_requested: stats_report.requested,
-        stats_created: stats_report.created,
-        stats_work_units: stats_report.work_units,
-        tuning_work_units: whatif_server.overhead_units() - tuning_start_units,
+        pool_size,
+        lazy_variants,
+        stats_requested: stats.requested,
+        stats_created: stats.created,
+        stats_work_units: stats.work_units,
+        tuning_work_units: prior_work_units + (whatif_server.overhead_units() - overhead_start),
         storage_bytes,
+        completion,
+        worker_restarts: prior_restarts + control.worker_restarts(),
+        whatif_retries: eval.retries() + stats.retries,
+        retry_backoff_units: eval.backoff_units() + stats.backoff_units,
+        degraded_statements,
+        checkpoint,
     })
 }
 

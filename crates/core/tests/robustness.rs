@@ -1,0 +1,454 @@
+//! Acceptance tests for the anytime-tuning robustness layer: work-budget
+//! deadlines, cooperative cancellation, fault-injected what-if calls,
+//! panic isolation, and checkpoint/resume.
+//!
+//! The properties under test (DESIGN.md §9):
+//!
+//! * **anytime** — at *every* budget, `tune` returns a valid,
+//!   storage-bounded configuration never worse than the raw one, with a
+//!   truthful [`Completion`], and the same budget produces byte-identical
+//!   output on every run and at every worker count;
+//! * **resume** — a budget-exhausted session continued through its
+//!   checkpoint ends byte-identical (recommendation *and* report) to an
+//!   uninterrupted run;
+//! * **faults** — transient server faults are absorbed by retry and the
+//!   session converges to the no-fault recommendation; permanent faults
+//!   degrade the affected statements instead of aborting; injected
+//!   worker panics are isolated and do not change the recommendation.
+
+use dta_catalog::{Column, ColumnType, Database, Table, Value};
+use dta_core::{
+    tune, tune_resume, tune_with_control, Completion, SessionControl, Stage, TuningOptions,
+    TuningResult,
+};
+use dta_server::{FaultPolicy, Server, TuningTarget};
+use dta_sql::parse_statement;
+use dta_workload::{Workload, WorkloadItem};
+
+/// A compact server: big enough that tuning finds real winners, small
+/// enough that a sweep of full sessions stays fast.
+fn make_server() -> Server {
+    let mut server = Server::new("prod");
+    let mut db = Database::new("d");
+    db.add_table(
+        Table::new(
+            "fact",
+            vec![
+                Column::new("k", ColumnType::BigInt),
+                Column::new("a", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+                Column::new("m", ColumnType::Int),
+                Column::new("val", ColumnType::Float),
+                Column::new("pad", ColumnType::Str(60)),
+            ],
+        )
+        .with_primary_key(&["k"]),
+    )
+    .unwrap();
+    db.add_table(
+        Table::new(
+            "dim",
+            vec![Column::new("dk", ColumnType::Int), Column::new("dname", ColumnType::Str(20))],
+        )
+        .with_primary_key(&["dk"]),
+    )
+    .unwrap();
+    server.create_database(db).unwrap();
+    {
+        let t = server.table_data_mut("d", "fact").unwrap();
+        for i in 0..20_000i64 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 800),
+                Value::Int(i % 25),
+                Value::Int(i % 12),
+                Value::Float((i % 997) as f64),
+                Value::Str(format!("{:=<60}", i)),
+            ]);
+        }
+        t.set_scale(30.0);
+    }
+    {
+        let t = server.table_data_mut("d", "dim").unwrap();
+        for i in 0..800i64 {
+            t.push_row(vec![Value::Int(i), Value::Str(format!("dim{i}"))]);
+        }
+    }
+    server
+}
+
+fn sel(sql: &str) -> WorkloadItem {
+    WorkloadItem::new("d", parse_statement(sql).unwrap())
+}
+
+fn read_workload() -> Workload {
+    let mut items = Vec::new();
+    for i in 0..12 {
+        items.push(sel(&format!("SELECT pad FROM fact WHERE a = {}", i * 13 % 800)));
+    }
+    for i in 0..8 {
+        items.push(sel(&format!(
+            "SELECT g, COUNT(*), SUM(val) FROM fact WHERE m = {} GROUP BY g",
+            i % 12
+        )));
+    }
+    for i in 0..6 {
+        items.push(sel(&format!(
+            "SELECT dname FROM fact, dim WHERE fact.a = dim.dk AND fact.k = {}",
+            i * 100
+        )));
+    }
+    Workload::from_items(items)
+}
+
+const STORAGE_MB: u64 = 60;
+
+fn options(workers: usize) -> TuningOptions {
+    // compression off: with it, the 26-statement fixture shrinks to a
+    // handful of representatives and the whole selection stage becomes a
+    // single budget block — the sweep needs stage-level granularity
+    TuningOptions { parallel_workers: workers, compress: false, ..Default::default() }
+        .with_storage_mb(STORAGE_MB)
+}
+
+fn budgeted(workers: usize, budget: u64) -> TuningOptions {
+    TuningOptions { work_budget_units: Some(budget), ..options(workers) }
+}
+
+/// The anytime invariant every run must satisfy, whatever the cut.
+fn assert_anytime(result: &TuningResult, server: &Server, label: &str) {
+    let errors = result.recommendation.validate(server.catalog());
+    assert!(errors.is_empty(), "{label}: invalid recommendation: {errors:?}");
+    assert!(
+        result.storage_bytes <= STORAGE_MB << 20,
+        "{label}: storage {} over the {STORAGE_MB} MB bound",
+        result.storage_bytes
+    );
+    assert!(
+        result.recommended_cost <= result.base_cost,
+        "{label}: recommendation worse than raw: {} > {}",
+        result.recommended_cost,
+        result.base_cost
+    );
+    assert!(result.expected_improvement() >= 0.0, "{label}");
+}
+
+/// Total work units an uninterrupted session consumes — the yardstick
+/// for picking budgets that cut mid-stage.
+fn total_units(workload: &Workload) -> u64 {
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let control = SessionControl::unlimited();
+    tune_with_control(&target, workload, &options(1), &control).unwrap();
+    control.consumed()
+}
+
+#[test]
+fn anytime_budget_sweep_returns_valid_best_so_far() {
+    let workload = read_workload();
+    let total = total_units(&workload);
+    assert!(total > 100, "fixture too small to sweep: {total} units");
+
+    // budgets from "no work at all" through mid-stage cuts to "more than
+    // enough"; every one must satisfy the anytime invariant
+    let budgets =
+        [0, 1, total / 20, total / 5, total / 2, (total * 4) / 5, total - 1, total, total * 2];
+    let mut stages_seen = std::collections::BTreeSet::new();
+    for &budget in &budgets {
+        let server = make_server();
+        let target = TuningTarget::Single(&server);
+        let result = tune(&target, &workload, &budgeted(1, budget)).unwrap();
+        let label = format!("budget {budget}");
+        assert_anytime(&result, &server, &label);
+        match result.completion {
+            Completion::Complete => {
+                assert!(budget >= total, "{label}: completed under the yardstick total");
+                assert!(result.checkpoint.is_none(), "{label}: complete run carries a checkpoint");
+            }
+            Completion::BudgetExhausted { stage } => {
+                assert!(budget < total, "{label}: exhausted with budget >= {total}");
+                let cp = result.checkpoint.as_ref().expect("exhausted run carries a checkpoint");
+                assert_eq!(cp.stage, stage, "{label}");
+                // the stop poll fires once consumed >= budget (block
+                // charging may record a small overshoot, never a shortfall)
+                assert!(cp.consumed_units >= budget, "{label}: stopped under budget");
+                stages_seen.insert(stage);
+            }
+            Completion::Cancelled { .. } => panic!("{label}: nothing cancelled this run"),
+        }
+    }
+    // a zero budget cuts before any work; the sweep covers several stages
+    assert!(stages_seen.contains(&Stage::PreCosting), "{stages_seen:?}");
+    assert!(stages_seen.len() >= 3, "sweep cut too few distinct stages: {stages_seen:?}");
+}
+
+#[test]
+fn same_budget_is_byte_identical_across_runs_and_worker_counts() {
+    let workload = read_workload();
+    let total = total_units(&workload);
+    for &budget in &[total / 5, (total * 2) / 3] {
+        let run = |workers: usize| {
+            let server = make_server();
+            let target = TuningTarget::Single(&server);
+            tune(&target, &workload, &budgeted(workers, budget)).unwrap()
+        };
+        let first = run(1);
+        let again = run(1);
+        let wide = run(4);
+        for (label, other) in [("rerun", &again), ("workers=4", &wide)] {
+            assert_eq!(
+                first.recommendation.to_string(),
+                other.recommendation.to_string(),
+                "budget {budget}: {label} diverged"
+            );
+            assert_eq!(
+                first.recommended_cost.to_bits(),
+                other.recommended_cost.to_bits(),
+                "budget {budget}: {label} cost bits diverged"
+            );
+            assert_eq!(first.completion, other.completion, "budget {budget}: {label}");
+            assert_eq!(
+                first.checkpoint.as_ref().map(|c| (c.stage, c.consumed_units)),
+                other.checkpoint.as_ref().map(|c| (c.stage, c.consumed_units)),
+                "budget {budget}: {label} checkpoints cut differently"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_is_byte_identical_to_uninterrupted_run() {
+    let workload = read_workload();
+    let total = total_units(&workload);
+
+    // the uninterrupted reference (workers=1 so the what-if tally in the
+    // report is schedule-independent)
+    let ref_server = make_server();
+    let ref_target = TuningTarget::Single(&ref_server);
+    let uninterrupted = tune(&ref_target, &workload, &options(1)).unwrap();
+
+    // cut at several depths — early, mid, late — and resume each to
+    // convergence on the same server that took the partial session
+    for &budget in &[total / 10, total / 3, (total * 3) / 4] {
+        let server = make_server();
+        let target = TuningTarget::Single(&server);
+        let partial = tune(&target, &workload, &budgeted(1, budget)).unwrap();
+        let cp = partial
+            .checkpoint
+            .as_ref()
+            .unwrap_or_else(|| panic!("budget {budget} of {total} should exhaust"));
+        let resumed = tune_resume(&target, cp, None).unwrap();
+
+        assert_eq!(resumed.completion, Completion::Complete, "budget {budget}");
+        // byte-identical recommendation…
+        assert_eq!(
+            resumed.recommendation.to_string(),
+            uninterrupted.recommendation.to_string(),
+            "budget {budget}: resumed recommendation diverged"
+        );
+        assert_eq!(resumed.recommended_cost.to_bits(), uninterrupted.recommended_cost.to_bits());
+        assert_eq!(resumed.base_cost.to_bits(), uninterrupted.base_cost.to_bits());
+        // …and byte-identical report: the rendered report is the user-
+        // facing artifact, so compare it whole
+        assert_eq!(
+            resumed.to_string(),
+            uninterrupted.to_string(),
+            "budget {budget}: resumed report diverged"
+        );
+        assert_eq!(resumed.whatif_calls, uninterrupted.whatif_calls, "budget {budget}");
+        assert_eq!(resumed.evaluations, uninterrupted.evaluations, "budget {budget}");
+        assert_eq!(resumed.storage_bytes, uninterrupted.storage_bytes, "budget {budget}");
+    }
+}
+
+#[test]
+fn resume_in_small_increments_converges_to_the_same_answer() {
+    let workload = read_workload();
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+
+    let mut result = tune(&target, &workload, &budgeted(1, 20)).unwrap();
+    let mut steps = 0;
+    while let Some(cp) = result.checkpoint.take() {
+        steps += 1;
+        assert!(steps < 200, "resume chain failed to converge");
+        result = tune_resume(&target, &cp, Some(30)).unwrap();
+    }
+    assert!(steps > 2, "fixture should take several increments, took {steps}");
+    assert_eq!(result.completion, Completion::Complete);
+
+    let ref_server = make_server();
+    let ref_target = TuningTarget::Single(&ref_server);
+    let uninterrupted = tune(&ref_target, &workload, &options(1)).unwrap();
+    assert_eq!(result.recommendation.to_string(), uninterrupted.recommendation.to_string());
+    assert_eq!(result.recommended_cost.to_bits(), uninterrupted.recommended_cost.to_bits());
+    assert_eq!(result.to_string(), uninterrupted.to_string(), "chained report diverged");
+}
+
+#[test]
+fn precancelled_session_returns_the_base_configuration() {
+    let workload = read_workload();
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let control = SessionControl::unlimited();
+    control.cancel_handle().cancel();
+    let result = tune_with_control(&target, &workload, &options(1), &control).unwrap();
+    assert_eq!(result.completion, Completion::Cancelled { stage: Stage::PreCosting });
+    assert_anytime(&result, &server, "pre-cancelled");
+    assert_eq!(result.recommendation.to_string(), server.raw_configuration().to_string());
+    assert_eq!(result.recommended_cost.to_bits(), result.base_cost.to_bits());
+    assert!(result.checkpoint.is_none(), "only budget exhaustion checkpoints");
+}
+
+#[test]
+fn midrun_cancellation_is_graceful() {
+    let workload = read_workload();
+    let server = make_server();
+    let target = TuningTarget::Single(&server);
+    let control = SessionControl::unlimited();
+    let handle = control.cancel_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        handle.cancel();
+    });
+    let result = tune_with_control(&target, &workload, &options(2), &control).unwrap();
+    canceller.join().unwrap();
+    // wherever the cancel landed (possibly after convergence on a fast
+    // machine), the anytime invariant holds and nothing panicked
+    assert_anytime(&result, &server, "mid-run cancel");
+    if let Completion::BudgetExhausted { .. } = result.completion {
+        panic!("no budget was set: {:?}", result.completion);
+    }
+}
+
+#[test]
+fn transient_faults_converge_to_the_no_fault_recommendation() {
+    let workload = read_workload();
+    let clean_server = make_server();
+    let clean_target = TuningTarget::Single(&clean_server);
+    let clean = tune(&clean_target, &workload, &options(1)).unwrap();
+
+    let server = make_server();
+    server.set_fault_policy(Some(FaultPolicy {
+        seed: 7,
+        whatif_transient_rate: 0.4,
+        stats_transient_rate: 0.4,
+        ..FaultPolicy::default()
+    }));
+    let target = TuningTarget::Single(&server);
+    let faulted = tune(&target, &workload, &options(1)).unwrap();
+
+    assert!(faulted.whatif_retries > 0, "schedule injected no transient faults");
+    assert!(faulted.retry_backoff_units > 0);
+    assert!(faulted.degraded_statements.is_empty(), "{:?}", faulted.degraded_statements);
+    assert_eq!(faulted.completion, Completion::Complete);
+    assert_eq!(
+        faulted.recommendation.to_string(),
+        clean.recommendation.to_string(),
+        "retries must converge to the no-fault recommendation"
+    );
+    assert_eq!(faulted.recommended_cost.to_bits(), clean.recommended_cost.to_bits());
+    // every retried call re-issues the what-if, so the faulted run works
+    // strictly harder — but answers the same questions
+    assert!(faulted.whatif_calls > clean.whatif_calls);
+}
+
+#[test]
+fn permanent_faults_degrade_statements_instead_of_aborting() {
+    let workload = read_workload();
+    let server = make_server();
+    server.set_fault_policy(Some(FaultPolicy {
+        seed: 3,
+        whatif_permanent_rate: 0.25,
+        ..FaultPolicy::default()
+    }));
+    let target = TuningTarget::Single(&server);
+    let result = tune(&target, &workload, &options(2)).unwrap();
+
+    assert!(
+        !result.degraded_statements.is_empty(),
+        "schedule with rate 0.25 over {} statements degraded none",
+        workload.len()
+    );
+    assert!(result.degraded_statements.len() < workload.len(), "everything degraded");
+    assert_eq!(result.completion, Completion::Complete);
+    assert_anytime(&result, &server, "permanent faults");
+    // the surviving statements still get tuned
+    assert!(result.expected_improvement() > 0.1, "{}", result.expected_improvement());
+    // and the report names the casualties
+    let text = result.to_string();
+    assert!(text.contains("degraded statements"), "{text}");
+}
+
+#[test]
+fn injected_worker_panics_are_isolated_and_do_not_change_the_answer() {
+    let workload = read_workload();
+    let clean_server = make_server();
+    let clean_target = TuningTarget::Single(&clean_server);
+    let clean = tune(&clean_target, &workload, &options(4)).unwrap();
+    assert_eq!(clean.worker_restarts, 0);
+
+    let server = make_server();
+    server.set_fault_policy(Some(FaultPolicy {
+        seed: 11,
+        whatif_panic_rate: 0.3,
+        ..FaultPolicy::default()
+    }));
+    let target = TuningTarget::Single(&server);
+    let result = tune(&target, &workload, &options(4)).unwrap();
+
+    assert!(result.worker_restarts > 0, "schedule injected no panics");
+    assert_eq!(result.completion, Completion::Complete);
+    // what-if call counts differ (the panicked calls are re-issued), but
+    // the recommendation and its cost are byte-identical
+    assert_eq!(
+        result.recommendation.to_string(),
+        clean.recommendation.to_string(),
+        "worker restarts changed the recommendation"
+    );
+    assert_eq!(result.recommended_cost.to_bits(), clean.recommended_cost.to_bits());
+    assert_eq!(result.base_cost.to_bits(), clean.base_cost.to_bits());
+}
+
+/// CI's `fault-matrix` job sweeps this test over a grid of seeds and
+/// failure rates via `DTA_FAULT_SEEDS` / `DTA_FAULT_RATES` (comma-
+/// separated); the in-repo defaults keep a plain `cargo test` fast.
+#[test]
+fn fault_matrix_schedules_all_converge() {
+    let seeds: Vec<u64> = std::env::var("DTA_FAULT_SEEDS")
+        .map(|s| s.split(',').map(|t| t.trim().parse().expect("seed")).collect())
+        .unwrap_or_else(|_| vec![1, 2]);
+    let rates: Vec<f64> = std::env::var("DTA_FAULT_RATES")
+        .map(|s| s.split(',').map(|t| t.trim().parse().expect("rate")).collect())
+        .unwrap_or_else(|_| vec![0.3]);
+
+    let workload = read_workload();
+    let clean_server = make_server();
+    let clean_target = TuningTarget::Single(&clean_server);
+    let clean = tune(&clean_target, &workload, &options(1)).unwrap();
+
+    for &seed in &seeds {
+        for &rate in &rates {
+            let server = make_server();
+            server.set_fault_policy(Some(FaultPolicy {
+                seed,
+                whatif_transient_rate: rate,
+                stats_transient_rate: rate,
+                ..FaultPolicy::default()
+            }));
+            let target = TuningTarget::Single(&server);
+            let faulted = tune(&target, &workload, &options(1)).unwrap();
+            assert_eq!(
+                faulted.recommendation.to_string(),
+                clean.recommendation.to_string(),
+                "seed {seed} rate {rate} diverged"
+            );
+            assert_eq!(
+                faulted.recommended_cost.to_bits(),
+                clean.recommended_cost.to_bits(),
+                "seed {seed} rate {rate} cost bits diverged"
+            );
+            assert_eq!(faulted.completion, Completion::Complete, "seed {seed} rate {rate}");
+        }
+    }
+}

@@ -275,15 +275,30 @@ fn compression_preserves_quality_and_cuts_work() {
 }
 
 #[test]
-fn time_budget_limits_work() {
+fn work_budget_limits_work() {
     let server = make_server();
     let target = TuningTarget::Single(&server);
     let workload = read_workload();
+    let unbounded =
+        tune(&target, &workload, &TuningOptions { parallel_workers: 1, ..Default::default() })
+            .unwrap();
     let tiny_budget =
-        TuningOptions { parallel_workers: 1, time_budget_units: Some(200.0), ..Default::default() };
+        TuningOptions { parallel_workers: 1, work_budget_units: Some(200), ..Default::default() };
     let result = tune(&target, &workload, &tiny_budget).unwrap();
-    // it finishes and does not blow the budget by more than one call's worth
-    assert!(result.tuning_work_units < 2000.0, "spent {}", result.tuning_work_units);
+    // the budgeted run stops early: strictly less overhead than the full
+    // run, and the interruption is reported
+    assert!(
+        result.tuning_work_units < unbounded.tuning_work_units,
+        "budgeted {} !< unbounded {}",
+        result.tuning_work_units,
+        unbounded.tuning_work_units
+    );
+    assert!(
+        matches!(result.completion, dta_core::Completion::BudgetExhausted { .. }),
+        "{:?}",
+        result.completion
+    );
+    assert!(result.checkpoint.is_some(), "budget-exhausted run carries a checkpoint");
 }
 
 #[test]
@@ -343,6 +358,7 @@ fn shared_cache_reduces_whatif_calls() {
     use dta_core::cost::CostEvaluator;
     use dta_core::enumeration::enumerate;
     use dta_core::merging::merge_candidates;
+    use dta_core::SessionControl;
     use dta_stats::StatKey;
     use std::collections::BTreeSet;
 
@@ -391,13 +407,22 @@ fn shared_cache_reduces_whatif_calls() {
     target.ensure_statistics(&required, options.reduce_statistics);
 
     let sel_eval = CostEvaluator::new(&target, items);
-    let mut pool = select_candidates(&sel_eval, &base, &groups, &options, &(|| false));
+    let mut pool =
+        select_candidates(&sel_eval, &base, &groups, &options, &SessionControl::unlimited());
     merge_candidates(&mut pool);
 
     let enum_eval = CostEvaluator::new(&target, items);
     enum_eval.workload_cost(&base).unwrap();
-    let enumeration =
-        enumerate(&enum_eval, &base, &pool.candidates, &server, &options, &(|| false));
+    let enumeration = enumerate(
+        &enum_eval,
+        &base,
+        &pool.candidates,
+        &server,
+        &options,
+        &SessionControl::unlimited(),
+        None,
+    )
+    .result;
 
     let seed_layout_calls =
         pre_eval.whatif_calls() + sel_eval.whatif_calls() + enum_eval.whatif_calls();

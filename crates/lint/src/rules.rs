@@ -1,4 +1,4 @@
-//! The rule engine: R1–R6 token-stream pattern rules with per-rule
+//! The rule engine: R1–R7 token-stream pattern rules with per-rule
 //! severity and path scoping, plus the P0 meta-rule validating
 //! suppression pragmas.
 //!
@@ -13,6 +13,7 @@
 //! | R4 `unscoped-thread-spawn` | structured concurrency: no detached threads outliving the session |
 //! | R5 `library-unwrap` | panic-free library code; invariants must be written down |
 //! | R6 `relaxed-ordering` | every `Relaxed` atomic is a deliberate, justified choice |
+//! | R7 `library-panic` | the anytime guarantee: no `panic!`/`exit`/`abort` escapes `tune()` |
 //!
 //! Rules are deliberately *token-stream* checks over the hand-rolled
 //! lexer — no parser, no type information. Where a rule needs types
@@ -45,7 +46,7 @@ impl Severity {
 /// One lint finding at an exact source position.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`R1`–`R6`, or `P0` for pragma violations).
+    /// Rule id (`R1`–`R7`, or `P0` for pragma violations).
     pub rule: &'static str,
     pub severity: Severity,
     pub path: String,
@@ -109,6 +110,14 @@ pub const RULES: &[RuleSpec] = &[
         summary: "Ordering::Relaxed requires an allow-pragma explaining why relaxed \
                   semantics are sound at this site",
     },
+    RuleSpec {
+        id: "R7",
+        name: "library-panic",
+        severity: Severity::Error,
+        summary: "no panic!/std::process::exit/abort in library code of core/server/stats: \
+                  the anytime-tuning layer guarantees no panic escapes tune() — return a \
+                  typed error or degrade, and justify deliberate panics with a pragma",
+    },
 ];
 
 fn spec(id: &str) -> &'static RuleSpec {
@@ -127,6 +136,10 @@ const R3_CRATES: &[&str] =
 const R4_SANCTIONED: &[&str] = &["crates/core/src/greedy.rs", "crates/core/src/candidates.rs"];
 /// Crates R5 applies to.
 const R5_CRATES: &[&str] = &["core", "optimizer", "catalog"];
+/// Crates R7 applies to: everything the session-robustness guarantees of
+/// DESIGN.md §9 flow through. A panic anywhere here either escapes
+/// `tune()` or silently kills a worker.
+const R7_CRATES: &[&str] = &["core", "server", "stats"];
 
 /// Path components that mark a file as outside library code. Files
 /// under these are skipped entirely (fixtures under `tests/` contain
@@ -193,6 +206,9 @@ pub fn check_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
         r5_library_unwrap(&info, &code, &mut findings);
     }
     r6_relaxed_ordering(&info, &code, &mut findings);
+    if info.in_crate(R7_CRATES) {
+        r7_library_panic(&info, &code, &mut findings);
+    }
 
     // test modules are exempt from every rule
     findings.retain(|f| !in_test(f.line));
@@ -559,6 +575,54 @@ fn r5_library_unwrap(info: &PathInfo, code: &[&Token], findings: &mut Vec<Findin
                 "bare `unwrap()` in library code: write the invariant down with \
                  `expect(\"<invariant>\")` or propagate the error"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// R7: `panic!` / `std::process::exit` / `std::process::abort` in
+/// library code of the robustness-covered crates.
+fn r7_library_panic(info: &PathInfo, code: &[&Token], findings: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        // `panic!(…)` — macro invocations only, so `catch_unwind` helpers
+        // and identifiers merely *named* panic don't fire
+        if code[i].kind == TokenKind::Ident
+            && code[i].text == "panic"
+            && code.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            push(
+                findings,
+                "R7",
+                info,
+                code[i],
+                "`panic!` in library code: the robustness layer guarantees no panic \
+                 escapes tune() — return a typed error, degrade the item, or justify a \
+                 deliberate invariant/fault-injection panic with a \
+                 `// dta-lint: allow(R7): <why>` pragma"
+                    .to_string(),
+            );
+        }
+        // `process::exit(…)` / `process::abort(…)` (with or without the
+        // leading `std::`)
+        if code[i].kind == TokenKind::Ident
+            && code[i].text == "process"
+            && code.get(i + 1).is_some_and(|t| t.text == ":")
+            && code.get(i + 2).is_some_and(|t| t.text == ":")
+            && code.get(i + 3).is_some_and(|t| {
+                t.kind == TokenKind::Ident && (t.text == "exit" || t.text == "abort")
+            })
+        {
+            push(
+                findings,
+                "R7",
+                info,
+                code[i + 3],
+                format!(
+                    "`std::process::{}` in library code: it kills the whole session — \
+                     even a cancelled or budget-exhausted run must return its \
+                     best-so-far recommendation",
+                    code[i + 3].text
+                ),
             );
         }
     }

@@ -1,0 +1,16 @@
+//! R7 fixture: panics and process kills in library code.
+
+pub fn explode(n: u32) -> u32 {
+    if n == 0 {
+        panic!("n must be positive");
+    }
+    n
+}
+
+pub fn bail() {
+    std::process::exit(2);
+}
+
+pub fn die() {
+    std::process::abort();
+}

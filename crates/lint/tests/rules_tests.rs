@@ -11,6 +11,7 @@ const R3: &str = include_str!("fixtures/fixture_r3.rs");
 const R4: &str = include_str!("fixtures/fixture_r4.rs");
 const R5: &str = include_str!("fixtures/fixture_r5.rs");
 const R6: &str = include_str!("fixtures/fixture_r6.rs");
+const R7: &str = include_str!("fixtures/fixture_r7.rs");
 const CLEAN: &str = include_str!("fixtures/fixture_clean.rs");
 
 /// (rule, severity, line, col) projection for position assertions.
@@ -75,6 +76,20 @@ fn r5_bare_unwrap_exact_position() {
 fn r6_relaxed_ordering_exact_position() {
     let found = lint_source("crates/core/src/fixture_r6.rs", R6);
     assert_eq!(at(&found), vec![("R6", Severity::Warning, 6, 28)], "{found:#?}");
+}
+
+#[test]
+fn r7_library_panic_exact_positions() {
+    let found = lint_source("crates/core/src/fixture_r7.rs", R7);
+    assert_eq!(
+        at(&found),
+        vec![
+            ("R7", Severity::Error, 5, 9),   // panic!(…)
+            ("R7", Severity::Error, 11, 19), // std::process::exit(2)
+            ("R7", Severity::Error, 15, 19), // std::process::abort()
+        ],
+        "{found:#?}"
+    );
 }
 
 #[test]
@@ -159,6 +174,9 @@ fn rules_scope_by_crate_and_file() {
     assert!(lint_source("crates/core/src/greedy.rs", R4).is_empty());
     // …but the same code elsewhere in the workspace may not
     assert!(!lint_source("crates/sql/src/lex.rs", R4).is_empty());
+    // R7 only guards the tune()-reachable crates (core/server/stats)
+    assert!(lint_source("crates/sql/src/lex.rs", R7).is_empty());
+    assert!(!lint_source("crates/server/src/seeded.rs", R7).is_empty());
 }
 
 #[test]
@@ -171,7 +189,7 @@ fn non_library_paths_are_out_of_scope() {
     assert!(!in_scope("crates/core/.hidden/x.rs"));
 }
 
-/// The acceptance gate: seeding any R1–R6 violation into a core path
+/// The acceptance gate: seeding any R1–R7 violation into a core path
 /// must make `dta-lint --deny-warnings` fail (non-zero exit). Exit
 /// status is `LintResult::fails` — the binary maps it 1:1.
 #[test]
@@ -181,6 +199,7 @@ fn any_seeded_violation_fails_the_gate() {
         ("R2", "crates/core/src/greedy.rs", R2),
         ("R3", "crates/core/src/seeded.rs", R3),
         ("R4", "crates/core/src/seeded.rs", R4),
+        ("R7", "crates/core/src/seeded.rs", R7),
         ("R5", "crates/core/src/seeded.rs", R5),
         ("R6", "crates/core/src/seeded.rs", R6),
     ];
@@ -194,7 +213,7 @@ fn any_seeded_violation_fails_the_gate() {
         assert!(result.fails(true), "{rule} violation must fail --deny-warnings");
     }
     // the hard-error rules fail even without --deny-warnings
-    for (rule, path, src) in &seeded[..4] {
+    for (rule, path, src) in &seeded[..5] {
         let result = LintResult { findings: lint_source(path, src), suppressed: 0, files: 1 };
         assert!(result.fails(false), "{rule} violation must fail unconditionally");
     }

@@ -21,8 +21,29 @@
 pub mod server;
 pub mod target;
 
-pub use server::{Server, StatsCreationReport, WHATIF_BASE_UNITS, WHATIF_PER_TABLE_UNITS};
+pub use server::{
+    FaultPolicy, Server, StatsCreationReport, WHATIF_BASE_UNITS, WHATIF_PER_TABLE_UNITS,
+};
 pub use target::{prepare_test_server, TuningTarget};
+
+/// How an injected fault behaves (see [`FaultPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fails a bounded number of attempts, then succeeds — a retry
+    /// should absorb it.
+    Transient,
+    /// Fails every attempt — the caller must degrade gracefully.
+    Permanent,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Permanent => write!(f, "permanent"),
+        }
+    }
+}
 
 /// Errors from server operations.
 #[derive(Debug)]
@@ -30,6 +51,13 @@ pub enum ServerError {
     Catalog(dta_catalog::CatalogError),
     Bind(dta_optimizer::BindError),
     Exec(dta_engine::ExecError),
+    /// A deterministically injected fault (see [`FaultPolicy`]).
+    Fault {
+        /// Transient (retryable) or permanent.
+        kind: FaultKind,
+        /// What failed, for reports.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -38,6 +66,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Catalog(e) => write!(f, "catalog: {e}"),
             ServerError::Bind(e) => write!(f, "bind: {e}"),
             ServerError::Exec(e) => write!(f, "exec: {e}"),
+            ServerError::Fault { kind, what } => write!(f, "{kind} fault: {what}"),
         }
     }
 }

@@ -1,17 +1,22 @@
 //! The server itself.
 
-use crate::ServerError;
+use crate::{FaultKind, ServerError};
 use dta_catalog::script::MetadataScript;
 use dta_catalog::{Catalog, Database};
 use dta_engine::{Engine, QueryResult};
 use dta_optimizer::{HardwareParams, Plan, TableStatsProvider, WhatIfOptimizer};
 use dta_physical::{Configuration, Index, MaterializedView, PhysicalStructure, SizingInfo};
 use dta_sql::Statement;
-use dta_stats::{build_statistic, StatKey, Statistic, StatisticsManager, DEFAULT_SAMPLE_FRACTION};
+use dta_stats::{
+    build_statistic, RetryPolicy, StatKey, Statistic, StatisticsManager, DEFAULT_SAMPLE_FRACTION,
+};
 use dta_storage::{Store, TableData, WorkCounter};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Work units charged per what-if optimizer call, base.
 pub const WHATIF_BASE_UNITS: f64 = 4.0;
@@ -29,6 +34,66 @@ pub struct StatsCreationReport {
     pub requested: usize,
     /// Work units spent creating them (sampling I/O).
     pub work_units: f64,
+    /// Requests abandoned after a permanent fault (or exhausted retries).
+    pub failed: usize,
+    /// Transient faults absorbed by retry.
+    pub retries: usize,
+    /// Deterministic backoff units accounted across those retries.
+    pub backoff_units: u64,
+}
+
+/// Deterministic fault-injection policy for testing the robustness
+/// layer.
+///
+/// Whether a given call faults is decided by hashing the *content* of
+/// the call (statement, statistic key) with `seed` — never by global
+/// call order or wall-clock — so a schedule is independent of thread
+/// count and cache warmth, and re-running the same session reproduces
+/// the same faults. What-if faults classify per *statement*, so a
+/// permanently-faulted statement fails for every configuration (the
+/// evaluator degrades it to a constant fallback, which then cancels out
+/// of configuration comparisons deterministically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Seed decorrelating schedules from one another.
+    pub seed: u64,
+    /// Fraction of statements whose what-if calls fail transiently.
+    pub whatif_transient_rate: f64,
+    /// Fraction of statements whose what-if calls fail permanently.
+    pub whatif_permanent_rate: f64,
+    /// Fraction of statistics whose creation fails transiently.
+    pub stats_transient_rate: f64,
+    /// Fraction of statistics whose creation fails permanently.
+    pub stats_permanent_rate: f64,
+    /// Fraction of statements whose what-if calls *panic* (once per call
+    /// site, then succeed) — exercises the panic-isolation layer: a
+    /// worker that hits the panic is restarted and the re-run succeeds,
+    /// so the session converges to the no-panic recommendation.
+    pub whatif_panic_rate: f64,
+    /// A transient schedule fails the first `1..=max_transient_failures`
+    /// attempts of each call site (the exact count is hash-derived).
+    pub max_transient_failures: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            seed: 0,
+            whatif_transient_rate: 0.0,
+            whatif_permanent_rate: 0.0,
+            stats_transient_rate: 0.0,
+            stats_permanent_rate: 0.0,
+            whatif_panic_rate: 0.0,
+            max_transient_failures: 2,
+        }
+    }
+}
+
+/// Live fault state: the policy plus per-call-site attempt counters for
+/// transient schedules.
+struct FaultState {
+    policy: FaultPolicy,
+    attempts: HashMap<u64, u32>,
 }
 
 /// A database server instance.
@@ -42,6 +107,7 @@ pub struct Server {
     hardware: RwLock<HardwareParams>,
     work: WorkCounter,
     rng: Mutex<StdRng>,
+    fault: Mutex<Option<FaultState>>,
 }
 
 impl Server {
@@ -56,6 +122,7 @@ impl Server {
             hardware: RwLock::new(HardwareParams::production_default()),
             work: WorkCounter::default(),
             rng: Mutex::new(StdRng::seed_from_u64(0x5EED)),
+            fault: Mutex::new(None),
         }
     }
 
@@ -63,6 +130,67 @@ impl Server {
     pub fn with_hardware(self, hw: HardwareParams) -> Self {
         *self.hardware.write() = hw;
         self
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Install (or clear) a deterministic fault-injection policy.
+    pub fn set_fault_policy(&self, policy: Option<FaultPolicy>) {
+        *self.fault.lock() = policy.map(|policy| FaultState { policy, attempts: HashMap::new() });
+    }
+
+    /// Builder-style fault-policy override.
+    pub fn with_fault_policy(self, policy: FaultPolicy) -> Self {
+        self.set_fault_policy(Some(policy));
+        self
+    }
+
+    /// The installed fault policy, if any.
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        self.fault.lock().as_ref().map(|s| s.policy)
+    }
+
+    /// Decide whether this call faults. `classify` identifies the fault
+    /// *domain member* (a statement, a statistic) — hashed with the seed
+    /// it classifies the member as clean / transient / permanent, fixed
+    /// for the whole session. `site` identifies the retryable call site
+    /// (e.g. statement + configuration) whose attempt counter a
+    /// transient schedule counts down on.
+    fn fault_check(
+        &self,
+        domain: &str,
+        classify: u64,
+        site: u64,
+        transient_rate: f64,
+        permanent_rate: f64,
+        what: &str,
+    ) -> Result<(), ServerError> {
+        let mut guard = self.fault.lock();
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut h = DefaultHasher::new();
+        (state.policy.seed, domain, classify).hash(&mut h);
+        let roll = h.finish();
+        let u = (roll % 1_000_000) as f64 / 1_000_000.0;
+        if u < permanent_rate {
+            return Err(ServerError::Fault { kind: FaultKind::Permanent, what: what.to_string() });
+        }
+        if u < permanent_rate + transient_rate {
+            let max = state.policy.max_transient_failures.max(1);
+            let failures = 1 + ((roll >> 32) % max as u64) as u32;
+            let mut hs = DefaultHasher::new();
+            (state.policy.seed, domain, site).hash(&mut hs);
+            let seen = state.attempts.entry(hs.finish()).or_insert(0);
+            if *seen < failures {
+                *seen += 1;
+                return Err(ServerError::Fault {
+                    kind: FaultKind::Transient,
+                    what: what.to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     // ---- catalog & data -------------------------------------------------
@@ -174,6 +302,76 @@ impl Server {
         stmt: &Statement,
         config: &Configuration,
     ) -> Result<Plan, ServerError> {
+        // injected faults are decided before work is charged: a failed
+        // attempt spends no server work, so a transient schedule that
+        // retry absorbs leaves the overhead meter exactly where a
+        // no-fault run would
+        if let Some(policy) = self.fault_policy() {
+            let stmt_text = stmt.to_string();
+            let classify = {
+                let mut h = DefaultHasher::new();
+                (database, stmt_text.as_str()).hash(&mut h);
+                h.finish()
+            };
+            let site = {
+                // order-independent combine over the configuration so the
+                // site key is stable however the structures are listed
+                let (mut sum, mut xor) = (0u64, 0u64);
+                for s in config.iter() {
+                    let mut h = DefaultHasher::new();
+                    s.hash(&mut h);
+                    let v = h.finish();
+                    sum = sum.wrapping_add(v);
+                    xor ^= v;
+                }
+                let mut h = DefaultHasher::new();
+                (classify, sum, xor).hash(&mut h);
+                h.finish()
+            };
+            self.fault_check(
+                "whatif",
+                classify,
+                site,
+                policy.whatif_transient_rate,
+                policy.whatif_permanent_rate,
+                &format!("what-if optimization of `{stmt_text}` on {database}"),
+            )?;
+            if policy.whatif_panic_rate > 0.0 {
+                // decide-and-count under the fault lock, panic after it is
+                // dropped and before any work is charged: the rescued
+                // retry of the same site succeeds, and every meter ends
+                // exactly where a no-panic run would
+                let should_panic = {
+                    let mut guard = self.fault.lock();
+                    match guard.as_mut() {
+                        Some(state) => {
+                            let mut h = DefaultHasher::new();
+                            (state.policy.seed, "whatif-panic", classify).hash(&mut h);
+                            let u = (h.finish() % 1_000_000) as f64 / 1_000_000.0;
+                            if u < state.policy.whatif_panic_rate {
+                                let mut hs = DefaultHasher::new();
+                                (state.policy.seed, "whatif-panic", site).hash(&mut hs);
+                                let seen = state.attempts.entry(hs.finish()).or_insert(0);
+                                if *seen == 0 {
+                                    *seen = 1;
+                                    true
+                                } else {
+                                    false
+                                }
+                            } else {
+                                false
+                            }
+                        }
+                        None => false,
+                    }
+                };
+                if should_panic {
+                    // dta-lint: allow(R7): deliberate fault injection — the
+                    // panic-isolation layer under test must catch this.
+                    panic!("injected what-if panic for `{stmt_text}` on {database}");
+                }
+            }
+        }
         let tables = stmt.referenced_tables().len() as f64;
         self.charge_units(WHATIF_BASE_UNITS + WHATIF_PER_TABLE_UNITS * tables * tables);
         let stats = self.stats.read();
@@ -215,17 +413,72 @@ impl Server {
         true
     }
 
+    /// Decide whether creating `key` faults under the installed policy.
+    fn stat_fault_check(&self, key: &StatKey) -> Result<(), ServerError> {
+        let Some(policy) = self.fault_policy() else {
+            return Ok(());
+        };
+        let classify = {
+            let mut h = DefaultHasher::new();
+            (key.database.as_str(), key.table.as_str(), &key.columns).hash(&mut h);
+            h.finish()
+        };
+        self.fault_check(
+            "stats",
+            classify,
+            classify,
+            policy.stats_transient_rate,
+            policy.stats_permanent_rate,
+            &format!("statistics creation on {}.{} {:?}", key.database, key.table, key.columns),
+        )
+    }
+
     /// Create a batch of statistics, reporting how much work it took.
+    ///
+    /// Transient injected faults are absorbed by bounded retry with
+    /// deterministic backoff accounting; a permanent fault (or exhausted
+    /// retries) abandons that one statistic — it is counted in `failed`
+    /// and the optimizer simply keeps its default estimates for those
+    /// columns, which is a graceful degradation, not an error.
     pub fn create_statistics(&self, keys: &[StatKey]) -> StatsCreationReport {
         let before = self.work.snapshot();
+        let retry = RetryPolicy::default();
         let mut created = 0;
+        let mut failed = 0;
+        let mut retries = 0;
+        let mut backoff_units = 0u64;
         for key in keys {
+            let mut attempt: u32 = 0;
+            let ok = loop {
+                match self.stat_fault_check(key) {
+                    Ok(()) => break true,
+                    Err(ServerError::Fault { kind: FaultKind::Transient, .. })
+                        if retry.allows_retry(attempt) =>
+                    {
+                        retries += 1;
+                        backoff_units = backoff_units.saturating_add(retry.backoff_units(attempt));
+                        attempt += 1;
+                    }
+                    Err(_) => break false,
+                }
+            };
+            if !ok {
+                failed += 1;
+                continue;
+            }
             if self.create_statistic(key.clone()) {
                 created += 1;
             }
         }
         let delta = self.work.snapshot().since(before);
-        StatsCreationReport { created, requested: keys.len(), work_units: delta.work_units() }
+        StatsCreationReport {
+            created,
+            requested: keys.len(),
+            work_units: delta.work_units(),
+            failed,
+            retries,
+            backoff_units,
+        }
     }
 
     /// Direct read access to the statistics manager.

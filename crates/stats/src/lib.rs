@@ -21,9 +21,11 @@
 pub mod histogram;
 pub mod manager;
 pub mod reduction;
+pub mod retry;
 pub mod statistic;
 
 pub use histogram::Histogram;
 pub use manager::StatisticsManager;
 pub use reduction::{reduce_statistics, ReductionOutcome};
+pub use retry::RetryPolicy;
 pub use statistic::{build_statistic, StatKey, Statistic, DEFAULT_SAMPLE_FRACTION};

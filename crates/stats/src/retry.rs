@@ -1,0 +1,62 @@
+//! Bounded retry with deterministic backoff *accounting*.
+//!
+//! The robustness layer retries transiently-failing server calls
+//! (what-if optimization, statistics creation). Real backoff would
+//! sleep; that would make runs wall-clock-dependent and therefore
+//! irreproducible, so the policy instead *accounts* the backoff it
+//! would have waited — exponential in the attempt number — and the
+//! session reports the accumulated units. Same fault schedule ⇒ same
+//! retry count ⇒ same backoff units, bit for bit.
+
+/// Bounded-retry policy: how many attempts a transiently-failing call
+/// gets, and how backoff units accrue between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try + retries). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff units accounted before retry `i` (0-based) are
+    /// `backoff_base_units << i` (exponential, saturating).
+    pub backoff_base_units: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff_base_units: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff units accounted after failed attempt `attempt` (0-based).
+    pub fn backoff_units(&self, attempt: u32) -> u64 {
+        self.backoff_base_units.checked_shl(attempt).unwrap_or(u64::MAX)
+    }
+
+    /// Whether another attempt is allowed after `attempt` (0-based) failed.
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RetryPolicy { max_attempts: 4, backoff_base_units: 3 };
+        assert_eq!(p.backoff_units(0), 3);
+        assert_eq!(p.backoff_units(1), 6);
+        assert_eq!(p.backoff_units(2), 12);
+        assert_eq!(p.backoff_units(200), u64::MAX, "shift overflow saturates");
+    }
+
+    #[test]
+    fn retry_window_is_bounded() {
+        let p = RetryPolicy { max_attempts: 3, backoff_base_units: 1 };
+        assert!(p.allows_retry(0));
+        assert!(p.allows_retry(1));
+        assert!(!p.allows_retry(2));
+        let degenerate = RetryPolicy { max_attempts: 0, backoff_base_units: 1 };
+        assert!(!degenerate.allows_retry(0), "max_attempts=0 behaves like 1");
+    }
+}

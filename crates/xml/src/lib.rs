@@ -16,7 +16,8 @@ pub mod schema;
 pub mod xml;
 
 pub use schema::{
-    configuration_from_xml, configuration_to_xml, options_from_xml, options_to_xml, result_to_xml,
-    workload_from_xml, workload_to_xml, SchemaError,
+    checkpoint_from_xml, checkpoint_to_xml, configuration_from_xml, configuration_to_xml,
+    options_from_xml, options_to_xml, result_to_xml, workload_from_xml, workload_to_xml,
+    SchemaError,
 };
 pub use xml::{parse_document, XmlError, XmlNode, XmlWriter};

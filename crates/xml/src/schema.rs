@@ -2,7 +2,14 @@
 
 use crate::xml::{parse_document, XmlError, XmlNode, XmlWriter};
 use dta_catalog::Value;
-use dta_core::{AlignmentMode, FeatureSet, TuningOptions, TuningResult};
+use dta_core::candidates::ItemSelection;
+use dta_core::cost::CacheExport;
+use dta_core::enumeration::EnumerationResume;
+use dta_core::greedy::{GreedyCursor, GreedySnapshot};
+use dta_core::{
+    AlignmentMode, Completion, FeatureSet, SessionCheckpoint, Stage, StatsProgress, TuningOptions,
+    TuningResult,
+};
 use dta_physical::{
     Configuration, Index, IndexKind, JoinPair, MaterializedView, PhysicalStructure,
     QualifiedColumn, RangePartitioning, ViewAggregate,
@@ -36,6 +43,30 @@ impl From<XmlError> for SchemaError {
 
 fn invalid(m: impl Into<String>) -> SchemaError {
     SchemaError::Invalid(m.into())
+}
+
+// ---- bit-exact floats -------------------------------------------------------
+//
+// Checkpoints must round-trip costs *byte*-exactly — a resumed session's
+// recommendation is compared bit-for-bit against the uninterrupted run's.
+// Costs are therefore serialized as the hex IEEE-754 bit pattern, not as
+// a decimal rendering.
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_bits(node: &XmlNode, attr: &str) -> Result<f64, SchemaError> {
+    let raw = node.require_attr(attr)?;
+    u64::from_str_radix(raw, 16)
+        .map(f64::from_bits)
+        .map_err(|_| invalid(format!("bad float bits '{raw}' in '{attr}'")))
+}
+
+fn parse_num<T: std::str::FromStr>(node: &XmlNode, attr: &str) -> Result<T, SchemaError> {
+    node.require_attr(attr)?
+        .parse()
+        .map_err(|_| invalid(format!("bad number in '{attr}' of <{}>", node.name)))
 }
 
 // ---- values ---------------------------------------------------------------
@@ -295,9 +326,7 @@ pub fn configuration_from_xml(text: &str) -> Result<Configuration, SchemaError> 
 
 // ---- workload -----------------------------------------------------------
 
-/// Serialize a workload.
-pub fn workload_to_xml(workload: &Workload) -> String {
-    let mut w = XmlWriter::new();
+fn write_workload_into(w: &mut XmlWriter, workload: &Workload) {
     w.open("Workload");
     for item in &workload.items {
         let weight = item.weight.to_string();
@@ -308,12 +337,16 @@ pub fn workload_to_xml(workload: &Workload) -> String {
         );
     }
     w.close();
+}
+
+/// Serialize a workload.
+pub fn workload_to_xml(workload: &Workload) -> String {
+    let mut w = XmlWriter::new();
+    write_workload_into(&mut w, workload);
     w.finish()
 }
 
-/// Parse a workload document.
-pub fn workload_from_xml(text: &str) -> Result<Workload, SchemaError> {
-    let root = parse_document(text)?;
+fn workload_from_node(root: &XmlNode) -> Result<Workload, SchemaError> {
     if root.name != "Workload" {
         return Err(invalid("expected <Workload> root"));
     }
@@ -329,11 +362,18 @@ pub fn workload_from_xml(text: &str) -> Result<Workload, SchemaError> {
     Ok(Workload::from_items(items))
 }
 
+/// Parse a workload document.
+pub fn workload_from_xml(text: &str) -> Result<Workload, SchemaError> {
+    workload_from_node(&parse_document(text)?)
+}
+
 // ---- options -----------------------------------------------------------
 
-/// Serialize tuning options (the DTA input document).
-pub fn options_to_xml(options: &TuningOptions) -> String {
-    let mut w = XmlWriter::new();
+/// Write tuning options with full fidelity: a checkpoint embeds this
+/// document, and a resumed session must see byte-identical knobs.
+/// (Rust's float `Display` is shortest-round-trip, so the decimal knobs
+/// parse back to the exact same value.)
+fn write_options_into(w: &mut XmlWriter, options: &TuningOptions) {
     let mut features = Vec::new();
     if options.features.indexes {
         features.push("indexes");
@@ -350,6 +390,14 @@ pub fn options_to_xml(options: &TuningOptions) -> String {
         AlignmentMode::Lazy => "lazy",
         AlignmentMode::Eager => "eager",
     };
+    let colgroup = options.colgroup_cost_threshold.to_string();
+    let greedy_m = options.greedy_m.to_string();
+    let greedy_k = options.greedy_k.to_string();
+    let max_cand = options.max_candidates_per_query.to_string();
+    let workers = options.parallel_workers.to_string();
+    let keep_whole = options.compression.keep_whole_below.to_string();
+    let rep_exp = options.compression.rep_exponent.to_string();
+    let rep_scale = options.compression.rep_scale.to_string();
     let storage;
     let budget;
     let mut attrs: Vec<(&str, &str)> = vec![
@@ -357,28 +405,40 @@ pub fn options_to_xml(options: &TuningOptions) -> String {
         ("alignment", alignment),
         ("compress", if options.compress { "true" } else { "false" }),
         ("reduceStatistics", if options.reduce_statistics { "true" } else { "false" }),
+        ("colgroupThreshold", colgroup.as_str()),
+        ("greedyM", greedy_m.as_str()),
+        ("greedyK", greedy_k.as_str()),
+        ("maxCandidatesPerQuery", max_cand.as_str()),
+        ("parallelWorkers", workers.as_str()),
+        ("keepWholeBelow", keep_whole.as_str()),
+        ("repExponent", rep_exp.as_str()),
+        ("repScale", rep_scale.as_str()),
     ];
     if let Some(b) = options.storage_bytes {
         storage = b.to_string();
         attrs.push(("storageBytes", storage.as_str()));
     }
-    if let Some(t) = options.time_budget_units {
+    if let Some(t) = options.work_budget_units {
         budget = t.to_string();
-        attrs.push(("timeBudget", budget.as_str()));
+        attrs.push(("workBudget", budget.as_str()));
     }
     w.open_with("TuningOptions", &attrs);
     if let Some(user) = &options.user_specified {
         w.open("UserSpecified");
-        write_configuration_into(&mut w, user);
+        write_configuration_into(w, user);
         w.close();
     }
     w.close();
+}
+
+/// Serialize tuning options (the DTA input document).
+pub fn options_to_xml(options: &TuningOptions) -> String {
+    let mut w = XmlWriter::new();
+    write_options_into(&mut w, options);
     w.finish()
 }
 
-/// Parse a tuning-options document. Unspecified knobs take defaults.
-pub fn options_from_xml(text: &str) -> Result<TuningOptions, SchemaError> {
-    let root = parse_document(text)?;
+fn options_from_node(root: &XmlNode) -> Result<TuningOptions, SchemaError> {
     if root.name != "TuningOptions" {
         return Err(invalid("expected <TuningOptions> root"));
     }
@@ -405,8 +465,32 @@ pub fn options_from_xml(text: &str) -> Result<TuningOptions, SchemaError> {
     if let Some(s) = root.attr("storageBytes") {
         options.storage_bytes = Some(s.parse().map_err(|_| invalid("bad storageBytes"))?);
     }
-    if let Some(t) = root.attr("timeBudget") {
-        options.time_budget_units = Some(t.parse().map_err(|_| invalid("bad timeBudget"))?);
+    if let Some(t) = root.attr("workBudget") {
+        options.work_budget_units = Some(t.parse().map_err(|_| invalid("bad workBudget"))?);
+    }
+    if root.attr("colgroupThreshold").is_some() {
+        options.colgroup_cost_threshold = parse_num(root, "colgroupThreshold")?;
+    }
+    if root.attr("greedyM").is_some() {
+        options.greedy_m = parse_num(root, "greedyM")?;
+    }
+    if root.attr("greedyK").is_some() {
+        options.greedy_k = parse_num(root, "greedyK")?;
+    }
+    if root.attr("maxCandidatesPerQuery").is_some() {
+        options.max_candidates_per_query = parse_num(root, "maxCandidatesPerQuery")?;
+    }
+    if root.attr("parallelWorkers").is_some() {
+        options.parallel_workers = parse_num(root, "parallelWorkers")?;
+    }
+    if root.attr("keepWholeBelow").is_some() {
+        options.compression.keep_whole_below = parse_num(root, "keepWholeBelow")?;
+    }
+    if root.attr("repExponent").is_some() {
+        options.compression.rep_exponent = parse_num(root, "repExponent")?;
+    }
+    if root.attr("repScale").is_some() {
+        options.compression.rep_scale = parse_num(root, "repScale")?;
     }
     if let Some(user) = root.child("UserSpecified") {
         let cfg = user
@@ -415,6 +499,11 @@ pub fn options_from_xml(text: &str) -> Result<TuningOptions, SchemaError> {
         options.user_specified = Some(configuration_from_node(cfg)?);
     }
     Ok(options)
+}
+
+/// Parse a tuning-options document. Unspecified knobs take defaults.
+pub fn options_from_xml(text: &str) -> Result<TuningOptions, SchemaError> {
+    options_from_node(&parse_document(text)?)
 }
 
 // ---- result -----------------------------------------------------------
@@ -432,6 +521,11 @@ pub fn result_to_xml(result: &TuningResult) -> String {
     let events = result.total_events.to_string();
     let calls = result.whatif_calls.to_string();
     let storage = result.storage_bytes.to_string();
+    let completion = match result.completion {
+        Completion::Complete => "complete".to_string(),
+        Completion::BudgetExhausted { stage } => format!("budgetExhausted:{stage}"),
+        Completion::Cancelled { stage } => format!("cancelled:{stage}"),
+    };
     w.leaf(
         "Report",
         &[
@@ -442,6 +536,7 @@ pub fn result_to_xml(result: &TuningResult) -> String {
             ("totalEvents", events.as_str()),
             ("whatifCalls", calls.as_str()),
             ("storageBytes", storage.as_str()),
+            ("completion", completion.as_str()),
         ],
     );
     w.open("Recommendation");
@@ -462,6 +557,295 @@ pub fn recommendation_from_output(text: &str) -> Result<Configuration, SchemaErr
         .and_then(|r| r.child("Configuration"))
         .ok_or_else(|| invalid("missing Recommendation/Configuration"))?;
     configuration_from_node(rec)
+}
+
+// ---- checkpoint -----------------------------------------------------------
+//
+// A budget-exhausted session's frozen state (DESIGN.md §9). Everything
+// cost-valued goes through the bit-pattern helpers so a checkpoint that
+// crosses a process boundary resumes to the byte-identical answer.
+
+fn write_selection(w: &mut XmlWriter, sel: &ItemSelection) {
+    let generated = sel.generated.to_string();
+    let evaluations = sel.evaluations.to_string();
+    let benefit = bits(sel.benefit);
+    w.open_with(
+        "Selection",
+        &[
+            ("generated", generated.as_str()),
+            ("evaluations", evaluations.as_str()),
+            ("benefitBits", benefit.as_str()),
+        ],
+    );
+    for s in &sel.chosen {
+        write_structure(w, s);
+    }
+    w.close();
+}
+
+fn read_selection(node: &XmlNode) -> Result<ItemSelection, SchemaError> {
+    let mut chosen = Vec::new();
+    for c in &node.children {
+        chosen.push(read_structure(c)?);
+    }
+    Ok(ItemSelection {
+        generated: parse_num(node, "generated")?,
+        evaluations: parse_num(node, "evaluations")?,
+        chosen,
+        benefit: parse_bits(node, "benefitBits")?,
+    })
+}
+
+fn write_enumeration(w: &mut XmlWriter, resume: &EnumerationResume) {
+    let lazy = resume.lazy_variants.to_string();
+    let best_cost = bits(resume.snapshot.best_cost);
+    let evaluations = resume.snapshot.evaluations.to_string();
+    let (phase, next, round_best) = match resume.snapshot.cursor {
+        GreedyCursor::Phase1 { next, round_best } => ("phase1", next, round_best),
+        GreedyCursor::Phase2 { next, round_best } => ("phase2", next, round_best),
+    };
+    let next = next.to_string();
+    let mut attrs: Vec<(&str, &str)> = vec![
+        ("lazyVariants", lazy.as_str()),
+        ("bestCostBits", best_cost.as_str()),
+        ("evaluations", evaluations.as_str()),
+        ("phase", phase),
+        ("next", next.as_str()),
+    ];
+    let pos;
+    let cost;
+    if let Some((p, c)) = round_best {
+        pos = p.to_string();
+        cost = bits(c);
+        attrs.push(("roundBestPos", pos.as_str()));
+        attrs.push(("roundBestCostBits", cost.as_str()));
+    }
+    w.open_with("Enumeration", &attrs);
+    for &i in &resume.snapshot.best_set {
+        let idx = i.to_string();
+        w.leaf("Pick", &[("index", idx.as_str())]);
+    }
+    w.close();
+}
+
+fn read_enumeration(node: &XmlNode) -> Result<EnumerationResume, SchemaError> {
+    let round_best = match node.attr("roundBestPos") {
+        Some(_) => Some((parse_num(node, "roundBestPos")?, parse_bits(node, "roundBestCostBits")?)),
+        None => None,
+    };
+    let next = parse_num(node, "next")?;
+    let cursor = match node.require_attr("phase")? {
+        "phase1" => GreedyCursor::Phase1 { next, round_best },
+        "phase2" => GreedyCursor::Phase2 { next, round_best },
+        other => return Err(invalid(format!("unknown greedy phase '{other}'"))),
+    };
+    let mut best_set = Vec::new();
+    for p in node.children_named("Pick") {
+        best_set.push(parse_num(p, "index")?);
+    }
+    Ok(EnumerationResume {
+        snapshot: GreedySnapshot {
+            best_set,
+            best_cost: parse_bits(node, "bestCostBits")?,
+            evaluations: parse_num(node, "evaluations")?,
+            cursor,
+        },
+        lazy_variants: parse_num(node, "lazyVariants")?,
+    })
+}
+
+/// Serialize a session checkpoint (`Completion::BudgetExhausted` state)
+/// so a later process can continue the session via `tune_resume`.
+pub fn checkpoint_to_xml(cp: &SessionCheckpoint) -> String {
+    let mut w = XmlWriter::new();
+    let consumed = cp.consumed_units.to_string();
+    let work = bits(cp.tuning_work_units);
+    let statements = cp.total_statements.to_string();
+    let events = bits(cp.total_events);
+    let calls = cp.whatif_calls.to_string();
+    let restarts = cp.worker_restarts.to_string();
+    let retries = cp.whatif_retries.to_string();
+    let backoff = cp.retry_backoff_units.to_string();
+    w.open_with(
+        "SessionCheckpoint",
+        &[
+            ("stage", cp.stage.as_str()),
+            ("consumedUnits", consumed.as_str()),
+            ("tuningWorkUnitsBits", work.as_str()),
+            ("totalStatements", statements.as_str()),
+            ("totalEventsBits", events.as_str()),
+            ("whatifCalls", calls.as_str()),
+            ("workerRestarts", restarts.as_str()),
+            ("whatifRetries", retries.as_str()),
+            ("retryBackoffUnits", backoff.as_str()),
+        ],
+    );
+    write_options_into(&mut w, &cp.options);
+    write_workload_into(&mut w, &cp.workload);
+    w.open("PreCosts");
+    for &c in &cp.pre_costs {
+        let b = bits(c);
+        w.leaf("Cost", &[("bits", b.as_str())]);
+    }
+    w.close();
+    if let Some(stats) = &cp.stats {
+        let requested = stats.requested.to_string();
+        let created = stats.created.to_string();
+        let work = bits(stats.work_units);
+        let failed = stats.failed.to_string();
+        let retries = stats.retries.to_string();
+        let backoff = stats.backoff_units.to_string();
+        w.leaf(
+            "Stats",
+            &[
+                ("requested", requested.as_str()),
+                ("created", created.as_str()),
+                ("workUnitsBits", work.as_str()),
+                ("failed", failed.as_str()),
+                ("retries", retries.as_str()),
+                ("backoffUnits", backoff.as_str()),
+            ],
+        );
+    }
+    if let Some(sels) = &cp.selections {
+        w.open("Selections");
+        for sel in sels {
+            write_selection(&mut w, sel);
+        }
+        w.close();
+    }
+    if let Some(e) = &cp.enumeration {
+        write_enumeration(&mut w, e);
+    }
+    w.open("Cache");
+    for e in &cp.cache {
+        let item = e.item.to_string();
+        let fp = format!("{:016x}", e.fingerprint);
+        let cost = bits(e.cost);
+        let verify = format!("{:016x}", e.verify);
+        w.open_with(
+            "Entry",
+            &[
+                ("item", item.as_str()),
+                ("fingerprint", fp.as_str()),
+                ("costBits", cost.as_str()),
+                ("verify", verify.as_str()),
+            ],
+        );
+        for name in &e.used_structures {
+            w.leaf("Use", &[("name", name.as_str())]);
+        }
+        w.close();
+    }
+    w.close();
+    w.open("Degraded");
+    for &d in &cp.degraded {
+        let idx = d.to_string();
+        w.leaf("Item", &[("index", idx.as_str())]);
+    }
+    w.close();
+    w.close();
+    w.finish()
+}
+
+/// Parse a session checkpoint. Returns a typed error — never panics —
+/// on truncated, corrupted, or structurally inconsistent documents.
+pub fn checkpoint_from_xml(text: &str) -> Result<SessionCheckpoint, SchemaError> {
+    let root = parse_document(text)?;
+    if root.name != "SessionCheckpoint" {
+        return Err(invalid("expected <SessionCheckpoint> root"));
+    }
+    let stage = Stage::parse(root.require_attr("stage")?)
+        .ok_or_else(|| invalid(format!("unknown stage '{}'", root.attr("stage").unwrap_or(""))))?;
+    let options = options_from_node(
+        root.child("TuningOptions").ok_or_else(|| invalid("checkpoint missing TuningOptions"))?,
+    )?;
+    let workload = workload_from_node(
+        root.child("Workload").ok_or_else(|| invalid("checkpoint missing Workload"))?,
+    )?;
+    let mut pre_costs = Vec::new();
+    for c in root
+        .child("PreCosts")
+        .ok_or_else(|| invalid("checkpoint missing PreCosts"))?
+        .children_named("Cost")
+    {
+        pre_costs.push(parse_bits(c, "bits")?);
+    }
+    let stats = match root.child("Stats") {
+        Some(s) => Some(StatsProgress {
+            requested: parse_num(s, "requested")?,
+            created: parse_num(s, "created")?,
+            work_units: parse_bits(s, "workUnitsBits")?,
+            failed: parse_num(s, "failed")?,
+            retries: parse_num(s, "retries")?,
+            backoff_units: parse_num(s, "backoffUnits")?,
+        }),
+        None => None,
+    };
+    let selections = match root.child("Selections") {
+        Some(node) => {
+            let mut sels = Vec::new();
+            for s in node.children_named("Selection") {
+                sels.push(read_selection(s)?);
+            }
+            Some(sels)
+        }
+        None => None,
+    };
+    let enumeration = match root.child("Enumeration") {
+        Some(e) => Some(read_enumeration(e)?),
+        None => None,
+    };
+    let mut cache = Vec::new();
+    for e in root
+        .child("Cache")
+        .ok_or_else(|| invalid("checkpoint missing Cache"))?
+        .children_named("Entry")
+    {
+        let fp = e.require_attr("fingerprint")?;
+        let verify = e.require_attr("verify")?;
+        cache.push(CacheExport {
+            item: parse_num(e, "item")?,
+            fingerprint: u64::from_str_radix(fp, 16)
+                .map_err(|_| invalid(format!("bad fingerprint '{fp}'")))?,
+            cost: parse_bits(e, "costBits")?,
+            used_structures: e
+                .children_named("Use")
+                .map(|u| u.require_attr("name").map(str::to_string))
+                .collect::<Result<_, _>>()?,
+            verify: u64::from_str_radix(verify, 16)
+                .map_err(|_| invalid(format!("bad verify fingerprint '{verify}'")))?,
+        });
+    }
+    let mut degraded = Vec::new();
+    for d in root
+        .child("Degraded")
+        .ok_or_else(|| invalid("checkpoint missing Degraded"))?
+        .children_named("Item")
+    {
+        degraded.push(parse_num(d, "index")?);
+    }
+    let cp = SessionCheckpoint {
+        options,
+        workload,
+        total_statements: parse_num(&root, "totalStatements")?,
+        total_events: parse_bits(&root, "totalEventsBits")?,
+        stage,
+        consumed_units: parse_num(&root, "consumedUnits")?,
+        tuning_work_units: parse_bits(&root, "tuningWorkUnitsBits")?,
+        pre_costs,
+        stats,
+        selections,
+        enumeration,
+        cache,
+        whatif_calls: parse_num(&root, "whatifCalls")?,
+        worker_restarts: parse_num(&root, "workerRestarts")?,
+        whatif_retries: parse_num(&root, "whatifRetries")?,
+        retry_backoff_units: parse_num(&root, "retryBackoffUnits")?,
+        degraded,
+    };
+    cp.validate().map_err(invalid)?;
+    Ok(cp)
 }
 
 #[cfg(test)]
@@ -528,9 +912,13 @@ mod tests {
         let mut options = TuningOptions::default()
             .with_storage_mb(200)
             .with_features(FeatureSet::indexes_and_views())
-            .with_alignment();
+            .with_alignment()
+            .with_work_budget(5000);
         options.compress = false;
-        options.time_budget_units = Some(5000.0);
+        options.greedy_k = 11;
+        options.parallel_workers = 3;
+        options.colgroup_cost_threshold = 0.0375;
+        options.compression.rep_scale = 0.625;
         options.user_specified = Some(sample_config());
         let xml = options_to_xml(&options);
         let back = options_from_xml(&xml).unwrap();
@@ -538,8 +926,17 @@ mod tests {
         assert_eq!(back.alignment, options.alignment);
         assert_eq!(back.compress, options.compress);
         assert_eq!(back.storage_bytes, options.storage_bytes);
-        assert_eq!(back.time_budget_units, options.time_budget_units);
+        assert_eq!(back.work_budget_units, options.work_budget_units);
+        assert_eq!(back.greedy_k, options.greedy_k);
+        assert_eq!(back.parallel_workers, options.parallel_workers);
+        assert_eq!(
+            back.colgroup_cost_threshold.to_bits(),
+            options.colgroup_cost_threshold.to_bits()
+        );
+        assert_eq!(back.compression.rep_scale.to_bits(), options.compression.rep_scale.to_bits());
         assert_eq!(back.user_specified, options.user_specified);
+        // full fidelity: re-serializing the parsed options is byte-identical
+        assert_eq!(options_to_xml(&back), xml);
     }
 
     #[test]
@@ -564,10 +961,128 @@ mod tests {
             stats_work_units: 3.0,
             tuning_work_units: 100.0,
             storage_bytes: 1 << 20,
+            completion: Completion::BudgetExhausted { stage: Stage::Enumeration },
+            worker_restarts: 0,
+            whatif_retries: 0,
+            retry_backoff_units: 0,
+            degraded_statements: Vec::new(),
+            checkpoint: None,
         };
         let out_xml = result_to_xml(&result);
+        assert!(out_xml.contains("completion=\"budgetExhausted:enumeration\""), "{out_xml}");
         let recovered = recommendation_from_output(&out_xml).unwrap();
         assert_eq!(recovered, result.recommendation);
+    }
+
+    fn sample_checkpoint() -> SessionCheckpoint {
+        let workload = Workload::from_sql_file(
+            "db",
+            "SELECT a FROM t WHERE x < 10; SELECT b FROM t WHERE x > 20;",
+        )
+        .unwrap();
+        SessionCheckpoint {
+            options: TuningOptions::default().with_work_budget(500),
+            workload,
+            total_statements: 7,
+            total_events: 7.5,
+            stage: Stage::Enumeration,
+            consumed_units: 321,
+            tuning_work_units: 1234.5678901234567,
+            pre_costs: vec![10.125, 0.1 + 0.2], // deliberately non-terminating bits
+            stats: Some(StatsProgress {
+                requested: 9,
+                created: 8,
+                work_units: 45.375,
+                failed: 1,
+                retries: 2,
+                backoff_units: 6,
+            }),
+            selections: Some(vec![
+                ItemSelection {
+                    generated: 5,
+                    evaluations: 12,
+                    chosen: sample_config().iter().cloned().collect(),
+                    benefit: 0.30000000000000004,
+                },
+                ItemSelection::default(),
+            ]),
+            enumeration: Some(EnumerationResume {
+                snapshot: GreedySnapshot {
+                    best_set: vec![3, 0, 5],
+                    best_cost: 99.0625,
+                    evaluations: 77,
+                    cursor: GreedyCursor::Phase2 { next: 4, round_best: Some((2, 98.5)) },
+                },
+                lazy_variants: 3,
+            }),
+            cache: vec![CacheExport {
+                item: 1,
+                fingerprint: 0xdeadbeef12345678,
+                cost: 17.375,
+                used_structures: vec!["idx_t_x".into()],
+                verify: 0xfeed,
+            }],
+            whatif_calls: 40,
+            worker_restarts: 1,
+            whatif_retries: 3,
+            retry_backoff_units: 14,
+            degraded: vec![1],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_byte_identical() {
+        let cp = sample_checkpoint();
+        let xml = checkpoint_to_xml(&cp);
+        let back = checkpoint_from_xml(&xml).unwrap();
+        // write → parse → re-write is byte-identical: every float made it
+        // through via its exact bit pattern
+        assert_eq!(checkpoint_to_xml(&back), xml, "\n{xml}");
+        assert_eq!(back.pre_costs[1].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.stage, Stage::Enumeration);
+        assert_eq!(back.enumeration.as_ref().unwrap().snapshot.best_set, vec![3, 0, 5]);
+        assert_eq!(back.cache[0].fingerprint, 0xdeadbeef12345678);
+    }
+
+    #[test]
+    fn minimal_checkpoint_roundtrips() {
+        // earliest possible cut: nothing past pre-costing yet
+        let mut cp = sample_checkpoint();
+        cp.stage = Stage::PreCosting;
+        cp.pre_costs = vec![1.5];
+        cp.stats = None;
+        cp.selections = None;
+        cp.enumeration = None;
+        cp.cache.clear();
+        cp.degraded.clear();
+        let xml = checkpoint_to_xml(&cp);
+        let back = checkpoint_from_xml(&xml).unwrap();
+        assert_eq!(checkpoint_to_xml(&back), xml);
+        assert!(back.stats.is_none() && back.selections.is_none() && back.enumeration.is_none());
+    }
+
+    #[test]
+    fn corrupted_checkpoints_are_typed_errors_not_panics() {
+        let xml = checkpoint_to_xml(&sample_checkpoint());
+        // truncation at every content-bearing prefix length must yield
+        // Err, never panic (cutting only trailing whitespace is still a
+        // complete document, so stop at the last non-whitespace byte)
+        for cut in 0..xml.trim_end().len() {
+            assert!(checkpoint_from_xml(&xml[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // well-formed XML, wrong root
+        assert!(checkpoint_from_xml("<Nope/>").is_err());
+        // corrupted float bits
+        let bad = xml.replacen("tuningWorkUnitsBits=\"", "tuningWorkUnitsBits=\"zz", 1);
+        assert!(checkpoint_from_xml(&bad).is_err());
+        // unknown stage
+        let bad = xml.replacen("stage=\"enumeration\"", "stage=\"warpDrive\"", 1);
+        assert!(checkpoint_from_xml(&bad).is_err());
+        // semantically inconsistent (degraded index out of range) is
+        // rejected by the embedded validate() pass
+        let bad = xml.replacen("<Item index=\"1\"/>", "<Item index=\"99\"/>", 1);
+        let err = checkpoint_from_xml(&bad);
+        assert!(matches!(err, Err(SchemaError::Invalid(_))), "{err:?}");
     }
 
     #[test]

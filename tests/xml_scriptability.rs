@@ -80,6 +80,64 @@ fn full_xml_loop() {
     assert!(refined.recommended_cost <= result.recommended_cost * 1.001);
 }
 
+/// §9 robustness: a budget-exhausted session shipped through the XML
+/// checkpoint schema — as a script would persist it between invocations —
+/// resumes to the byte-identical answer of an uninterrupted run.
+#[test]
+fn checkpoint_xml_roundtrip_resumes_byte_identically() {
+    let (server, workload) = setup();
+    let target = TuningTarget::Single(&server);
+    let options =
+        TuningOptions { work_budget_units: Some(2), compress: false, ..TuningOptions::default() };
+
+    let interrupted = tune(&target, &workload, &options).expect("budgeted run succeeds");
+    let checkpoint = interrupted.checkpoint.as_deref().expect("a 2-unit budget must exhaust");
+
+    // persist → reload through the public XML schema
+    let cp_xml = xml::checkpoint_to_xml(checkpoint);
+    let restored = xml::checkpoint_from_xml(&cp_xml).expect("checkpoint parses back");
+    assert_eq!(xml::checkpoint_to_xml(&restored), cp_xml, "re-serialization drifted");
+
+    // resume from the reloaded checkpoint; compare to an uninterrupted run
+    let resumed = tune_resume(&target, &restored, None).expect("resumed run succeeds");
+    let uninterrupted =
+        tune(&target, &workload, &TuningOptions { work_budget_units: None, ..options })
+            .expect("uninterrupted run succeeds");
+
+    assert_eq!(resumed.completion, Completion::Complete);
+    assert_eq!(
+        resumed.recommendation.to_string(),
+        uninterrupted.recommendation.to_string(),
+        "resume changed the recommendation"
+    );
+    assert_eq!(resumed.recommended_cost.to_bits(), uninterrupted.recommended_cost.to_bits());
+    assert_eq!(resumed.base_cost.to_bits(), uninterrupted.base_cost.to_bits());
+}
+
+/// A corrupted checkpoint yields a typed schema error — never a panic,
+/// never a half-resumed session.
+#[test]
+fn corrupted_checkpoint_xml_is_a_typed_error() {
+    let (server, workload) = setup();
+    let target = TuningTarget::Single(&server);
+    let options =
+        TuningOptions { work_budget_units: Some(2), compress: false, ..TuningOptions::default() };
+    let interrupted = tune(&target, &workload, &options).unwrap();
+    let cp_xml = xml::checkpoint_to_xml(interrupted.checkpoint.as_deref().unwrap());
+
+    // structural damage: drop the consumed-units ledger
+    let damaged = cp_xml.replacen("consumedUnits", "consumedUnitz", 1);
+    assert_ne!(damaged, cp_xml, "fixture no longer matches the schema");
+    let err = xml::checkpoint_from_xml(&damaged).expect_err("damage must be detected");
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+
+    // truncation: cut the document in half
+    let err = xml::checkpoint_from_xml(&cp_xml[..cp_xml.len() / 2])
+        .expect_err("truncation must be detected");
+    assert!(!err.to_string().is_empty());
+}
+
 #[test]
 fn configuration_xml_handles_every_structure_kind() {
     let (server, workload) = setup();
