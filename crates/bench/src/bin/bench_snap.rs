@@ -1,0 +1,87 @@
+//! `dta-bench-snap` — freeze the seed workloads' session shape as a
+//! `BENCH_pr<N>.json` perf-trajectory snapshot (schema `dta-bench/v1`).
+//!
+//! ```text
+//! dta-bench-snap --pr 6 --out BENCH_pr6.json   # run + write + validate
+//! dta-bench-snap --validate BENCH_pr6.json     # schema-check an existing file
+//! ```
+//!
+//! Counters in the snapshot are deterministic (same seed workloads ⇒
+//! same numbers); only `wall_nanos` varies between machines. CI runs the
+//! emit mode on every PR and fails if the document does not validate.
+
+use dta_bench::snapshot::{run_workload, snapshot_json, validate_snapshot, SNAP_WORKLOADS};
+
+fn usage() -> ! {
+    eprintln!("usage: dta-bench-snap [--pr N] [--out FILE] | --validate FILE");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pr: u32 = 6;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pr" => {
+                i += 1;
+                pr = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--validate" => {
+                i += 1;
+                validate = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dta-bench-snap: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_snapshot(&text) {
+            Ok(()) => {
+                println!("{path}: valid dta-bench/v1 snapshot");
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID snapshot: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut snaps = Vec::new();
+    for name in SNAP_WORKLOADS {
+        eprintln!("dta-bench-snap: tuning {name} …");
+        let snap = run_workload(name);
+        eprintln!(
+            "dta-bench-snap:   {} what-if calls, {:.1}% cache hits, pool {} ({} evaluations)",
+            snap.whatif_calls,
+            snap.cache_hit_rate * 100.0,
+            snap.peak_pool_size,
+            snap.evaluations,
+        );
+        snaps.push(snap);
+    }
+    let json = snapshot_json(pr, &snaps);
+    validate_snapshot(&json).expect("emitted snapshot validates against its own schema");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("snapshot file writes");
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

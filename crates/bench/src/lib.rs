@@ -8,6 +8,7 @@
 //! factor), per DESIGN.md.
 
 pub mod experiments;
+pub mod snapshot;
 
 pub use experiments::*;
 

@@ -11,8 +11,10 @@
 //! budget always cuts the search at exactly the same place regardless of
 //! thread count or interleaving. Same budget ⇒ byte-identical result.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::obs::{Counter, CounterSet};
 
 /// Why a stage stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,12 +124,13 @@ impl CancelHandle {
 }
 
 /// Per-session control block: the work budget, the cancel flag, and the
-/// worker-restart telemetry the panic-isolation layer reports through.
+/// session's deterministic counter set (panic rescues, budget ledger
+/// telemetry — see [`crate::obs::CounterSet`]).
 pub struct SessionControl {
     budget: Option<u64>,
     consumed: AtomicU64,
     cancel: Arc<AtomicBool>,
-    worker_restarts: AtomicUsize,
+    counters: Arc<CounterSet>,
 }
 
 impl SessionControl {
@@ -137,7 +140,7 @@ impl SessionControl {
             budget: None,
             consumed: AtomicU64::new(0),
             cancel: Arc::new(AtomicBool::new(false)),
-            worker_restarts: AtomicUsize::new(0),
+            counters: Arc::new(CounterSet::new()),
         }
     }
 
@@ -153,8 +156,14 @@ impl SessionControl {
             budget: extra.map(|e| consumed.saturating_add(e)),
             consumed: AtomicU64::new(consumed),
             cancel: Arc::new(AtomicBool::new(false)),
-            worker_restarts: AtomicUsize::new(0),
+            counters: Arc::new(CounterSet::new()),
         }
+    }
+
+    /// The session's shared counter set — the single source of truth
+    /// for deterministic telemetry ([`crate::obs::Counter`]).
+    pub fn counters(&self) -> &Arc<CounterSet> {
+        &self.counters
     }
 
     /// The configured budget, if any.
@@ -181,6 +190,7 @@ impl SessionControl {
     /// overshoot past the budget is recorded, not prevented).
     pub fn charge(&self, units: u64) {
         self.consumed.fetch_add(units, Ordering::SeqCst);
+        self.counters.add(Counter::BudgetCharged, units);
     }
 
     /// Grant up to `want` units against the remaining budget and consume
@@ -198,12 +208,14 @@ impl SessionControl {
                 // unbudgeted grants still feed the ledger, so an
                 // unlimited run reports how much work a budget would need
                 self.consumed.fetch_add(want, Ordering::SeqCst);
+                self.counters.add(Counter::BudgetGranted, want);
                 want
             }
             Some(b) => {
                 let used = self.consumed.load(Ordering::SeqCst);
                 let granted = want.min(b.saturating_sub(used));
                 self.consumed.fetch_add(granted, Ordering::SeqCst);
+                self.counters.add(Counter::BudgetGranted, granted);
                 granted
             }
         }
@@ -224,14 +236,14 @@ impl SessionControl {
     }
 
     /// Record that a parallel worker panicked and its slice was re-run
-    /// serially (panic-isolation telemetry).
+    /// serially (panic-isolation telemetry, the `PanicRescues` counter).
     pub fn note_worker_restart(&self) {
-        self.worker_restarts.fetch_add(1, Ordering::SeqCst);
+        self.counters.add(Counter::PanicRescues, 1);
     }
 
     /// Number of worker restarts recorded so far.
     pub fn worker_restarts(&self) -> usize {
-        self.worker_restarts.load(Ordering::SeqCst)
+        self.counters.get(Counter::PanicRescues) as usize
     }
 }
 
@@ -331,6 +343,16 @@ mod tests {
         c.note_worker_restart();
         c.note_worker_restart();
         assert_eq!(c.worker_restarts(), 2);
+        assert_eq!(c.counters().get(Counter::PanicRescues), 2);
+    }
+
+    #[test]
+    fn budget_ledger_feeds_counters() {
+        let c = SessionControl::with_budget(10);
+        c.charge(2);
+        assert_eq!(c.grant(6), 6);
+        assert_eq!(c.counters().get(Counter::BudgetCharged), 2);
+        assert_eq!(c.counters().get(Counter::BudgetGranted), 6);
     }
 
     #[test]

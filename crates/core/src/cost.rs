@@ -18,9 +18,13 @@
 //! share hits. The cache is sharded by statement index
 //! (`RwLock<HashMap>` per statement), so concurrent lookups of different
 //! statements never contend and lookups of the same statement contend
-//! only on a reader-writer lock. Two threads racing on the same miss may
-//! both issue the what-if call; the cost model is deterministic, so they
-//! insert the same value and the race is benign.
+//! only on a reader-writer lock. Two threads racing on the same miss are
+//! deduplicated through a per-shard in-flight set: exactly one issues
+//! the what-if call while the others wait for the cache entry and count
+//! a hit. The dedup is what makes the observability counters (what-if
+//! calls, hits, misses, retries) byte-identical across worker counts —
+//! each unique (statement, fingerprint) pair costs one miss and one
+//! server call no matter how the scheduler interleaves the lookups.
 //!
 //! Fingerprints are computed without allocating: each relevant structure
 //! is hashed independently and the per-structure hashes are combined
@@ -36,15 +40,17 @@
 //! with the workload. All of it compiles away under `--release`.
 
 use crate::invariants;
+use crate::obs::{Counter, CounterSet, ShardSnapshot};
 use dta_physical::{Configuration, PhysicalStructure};
 use dta_server::{FaultKind, ServerError, TuningTarget};
 use dta_stats::RetryPolicy;
 use dta_workload::WorkloadItem;
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A memoized what-if result for one (statement, projected config) pair.
 #[derive(Debug, Clone)]
@@ -73,6 +79,40 @@ pub struct CacheExport {
     pub verify: u64,
 }
 
+/// Releases an in-flight fingerprint claim on drop, so an early `?`
+/// return cannot leave waiters spinning on a claim nobody will finish.
+struct ClaimGuard<'g> {
+    set: &'g Mutex<HashSet<u64>>,
+    fp: u64,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        self.set.lock().remove(&self.fp);
+    }
+}
+
+/// Per-shard (= per-statement) cache statistics: hits, misses, retries,
+/// and what-if calls, each a monotonic atomic tally.
+#[derive(Debug, Default)]
+struct ShardStat {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    retries: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl ShardStat {
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            calls: self.calls.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// Caching cost evaluator over one tuning target and workload.
 ///
 /// `Send + Sync`: share a single instance across every phase of the
@@ -84,13 +124,18 @@ pub struct CostEvaluator<'a> {
     item_tables: Vec<Vec<(String, String)>>,
     /// One cache shard per statement.
     shards: Vec<RwLock<HashMap<u64, CacheEntry>>>,
-    whatif_calls: AtomicUsize,
+    /// Fingerprints currently being priced, per shard. Concurrent misses
+    /// on the same fingerprint dedup through this set so hit/miss/call
+    /// tallies stay deterministic across worker counts.
+    in_flight: Vec<Mutex<HashSet<u64>>>,
+    /// Per-shard hit/miss/retry/call tallies (same index as `shards`).
+    shard_stats: Vec<ShardStat>,
+    /// Deterministic session counters — shared with `SessionControl`
+    /// (and any observer) so what-if/retry telemetry has one source of
+    /// truth; a standalone evaluator owns a private set.
+    counters: Arc<CounterSet>,
     /// Bounded-retry policy for transient what-if faults.
     retry: RetryPolicy,
-    /// Transient what-if faults retried away.
-    retries: AtomicUsize,
-    /// Deterministic backoff accounting (units, not wall-clock sleeps).
-    backoff_units: AtomicU64,
     /// Per-item fallback costs used when a statement degrades (its
     /// pre-statistics base cost; 0.0 until the session sets them, and
     /// 0.0 for an item whose pre-costing itself failed — constant per
@@ -101,8 +146,19 @@ pub struct CostEvaluator<'a> {
 }
 
 impl<'a> CostEvaluator<'a> {
-    /// Build an evaluator for `items` against `target`.
+    /// Build an evaluator for `items` against `target` with a private
+    /// counter set.
     pub fn new(target: &'a TuningTarget<'a>, items: &'a [WorkloadItem]) -> Self {
+        Self::with_counters(target, items, Arc::new(CounterSet::new()))
+    }
+
+    /// Build an evaluator that tallies into a shared [`CounterSet`]
+    /// (the session's — see [`crate::SessionControl::counters`]).
+    pub fn with_counters(
+        target: &'a TuningTarget<'a>,
+        items: &'a [WorkloadItem],
+        counters: Arc<CounterSet>,
+    ) -> Self {
         let item_tables = items
             .iter()
             .map(|i| {
@@ -122,10 +178,10 @@ impl<'a> CostEvaluator<'a> {
             items,
             item_tables,
             shards: (0..items.len()).map(|_| RwLock::new(HashMap::new())).collect(),
-            whatif_calls: AtomicUsize::new(0),
+            in_flight: (0..items.len()).map(|_| Mutex::new(HashSet::new())).collect(),
+            shard_stats: (0..items.len()).map(|_| ShardStat::default()).collect(),
+            counters,
             retry: RetryPolicy::default(),
-            retries: AtomicUsize::new(0),
-            backoff_units: AtomicU64::new(0),
             fallbacks: RwLock::new(Vec::new()),
             degraded: Mutex::new(BTreeSet::new()),
         }
@@ -143,9 +199,14 @@ impl<'a> CostEvaluator<'a> {
 
     /// What-if calls actually issued (cache misses).
     pub fn whatif_calls(&self) -> usize {
-        // dta-lint: allow(R6): monotonic telemetry counter; readers only
-        // need an eventually-consistent tally, nothing is ordered on it.
-        self.whatif_calls.load(Ordering::Relaxed)
+        self.counters.get(Counter::WhatIfCalls) as usize
+    }
+
+    /// Per-shard cache statistics, in statement order. Shards map
+    /// one-to-one onto workload statements, so entry `i` is statement
+    /// `i`'s hit/miss/retry/call tally.
+    pub fn cache_stats(&self) -> Vec<ShardSnapshot> {
+        self.shard_stats.iter().map(ShardStat::snapshot).collect()
     }
 
     /// Drop every cached cost (the call counter is kept).
@@ -240,9 +301,44 @@ impl<'a> CostEvaluator<'a> {
             if invariants::ENABLED && e.verify != 0 {
                 invariants::check_fingerprint(e.verify, self.verify_fingerprint(i, config), i);
             }
+            self.shard_stats[i].hits.fetch_add(1, Ordering::SeqCst);
+            self.counters.add(Counter::CacheHits, 1);
             let used = if want_structures { e.used_structures.clone() } else { Vec::new() };
             return Ok((e.cost, used));
         }
+        // claim-or-wait: exactly one thread computes each fingerprint.
+        // Waiters count a hit once the entry lands, so the hit/miss/call
+        // tallies are byte-identical no matter how lookups interleave.
+        loop {
+            {
+                let mut claims = self.in_flight[i].lock();
+                // recheck under the claim lock: the computing thread
+                // inserts into the cache before releasing its claim
+                if let Some(e) = self.shards[i].read().get(&fp) {
+                    if invariants::ENABLED && e.verify != 0 {
+                        invariants::check_fingerprint(
+                            e.verify,
+                            self.verify_fingerprint(i, config),
+                            i,
+                        );
+                    }
+                    self.shard_stats[i].hits.fetch_add(1, Ordering::SeqCst);
+                    self.counters.add(Counter::CacheHits, 1);
+                    let used =
+                        if want_structures { e.used_structures.clone() } else { Vec::new() };
+                    return Ok((e.cost, used));
+                }
+                if claims.insert(fp) {
+                    break;
+                }
+            }
+            // another thread holds the claim; let it finish
+            std::thread::yield_now();
+        }
+        // the claim is released on every exit path below (including `?`)
+        let _claim = ClaimGuard { set: &self.in_flight[i], fp };
+        self.shard_stats[i].misses.fetch_add(1, Ordering::SeqCst);
+        self.counters.add(Counter::CacheMisses, 1);
         if self.degraded.lock().contains(&i) {
             // a permanent fault already degraded this statement: price
             // every configuration at its constant fallback, no server call
@@ -257,19 +353,19 @@ impl<'a> CostEvaluator<'a> {
         let item = &self.items[i];
         let mut attempt: u32 = 0;
         let plan = loop {
-            // dta-lint: allow(R6): monotonic telemetry counter; racing
-            // misses may each add one, which is the intended semantics
-            // (calls issued).
-            self.whatif_calls.fetch_add(1, Ordering::Relaxed);
+            // one call per unique miss (plus deterministic retries): the
+            // in-flight claim above serialized racing lookups away
+            self.counters.add(Counter::WhatIfCalls, 1);
+            self.shard_stats[i].calls.fetch_add(1, Ordering::SeqCst);
             match self.target.whatif(&item.database, &item.statement, &relevant) {
                 Ok(plan) => break Some(plan),
                 Err(ServerError::Fault { kind: FaultKind::Transient, .. })
                     if self.retry.allows_retry(attempt) =>
                 {
                     // bounded retry with deterministic backoff accounting
-                    self.retries.fetch_add(1, Ordering::SeqCst);
-                    self.backoff_units
-                        .fetch_add(self.retry.backoff_units(attempt), Ordering::SeqCst);
+                    self.counters.add(Counter::WhatIfRetries, 1);
+                    self.counters.add(Counter::RetryBackoffUnits, self.retry.backoff_units(attempt));
+                    self.shard_stats[i].retries.fetch_add(1, Ordering::SeqCst);
                     attempt += 1;
                 }
                 // permanent fault, or transient retries exhausted: degrade
@@ -307,12 +403,12 @@ impl<'a> CostEvaluator<'a> {
 
     /// Transient what-if faults absorbed by retry.
     pub fn retries(&self) -> usize {
-        self.retries.load(Ordering::SeqCst)
+        self.counters.get(Counter::WhatIfRetries) as usize
     }
 
     /// Deterministic backoff units accounted across all retries.
     pub fn backoff_units(&self) -> u64 {
-        self.backoff_units.load(Ordering::SeqCst)
+        self.counters.get(Counter::RetryBackoffUnits)
     }
 
     /// Item indexes degraded to their fallback cost by permanent faults,
@@ -361,14 +457,15 @@ impl<'a> CostEvaluator<'a> {
                 );
             }
         }
-        self.whatif_calls.store(whatif_calls, Ordering::SeqCst);
+        self.counters.set(Counter::WhatIfCalls, whatif_calls as u64);
     }
 
     /// Restore fault telemetry (retry tallies and the degraded set) from
-    /// a checkpoint.
+    /// a checkpoint. Per-shard hit/miss statistics start fresh — they
+    /// describe this process's cache behaviour, not the session ledger.
     pub fn restore_fault_state(&self, retries: usize, backoff_units: u64, degraded: &[usize]) {
-        self.retries.store(retries, Ordering::SeqCst);
-        self.backoff_units.store(backoff_units, Ordering::SeqCst);
+        self.counters.set(Counter::WhatIfRetries, retries as u64);
+        self.counters.set(Counter::RetryBackoffUnits, backoff_units);
         let mut set = self.degraded.lock();
         for &i in degraded {
             set.insert(i);
@@ -474,6 +571,43 @@ mod tests {
         let c2 = eval.workload_cost(&empty).expect("costing succeeds");
         assert_eq!(eval.whatif_calls(), 2, "second evaluation fully cached");
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn shard_stats_track_hits_and_misses_per_statement() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let empty = Configuration::new();
+        eval.workload_cost(&empty).expect("costing succeeds");
+        eval.workload_cost(&empty).expect("costing succeeds");
+        let stats = eval.cache_stats();
+        assert_eq!(stats.len(), 2, "one shard per statement");
+        for st in &stats {
+            assert_eq!((st.misses, st.hits, st.calls, st.retries), (1, 1, 1, 0), "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn racing_misses_dedup_to_one_call() {
+        let s = server();
+        let target = TuningTarget::Single(&s);
+        let w = wl();
+        let eval = CostEvaluator::new(&target, &w.items);
+        let empty = Configuration::new();
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| eval.item_cost(0, &empty).expect("costing succeeds"));
+            }
+        });
+        let st = &eval.cache_stats()[0];
+        assert_eq!(
+            (st.misses, st.hits, st.calls),
+            (1, threads - 1, 1),
+            "concurrent lookups of one fingerprint dedup to a single miss"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use crate::candidates::Candidate;
 use crate::control::{SessionControl, StopReason};
 use crate::cost::CostEvaluator;
-use crate::greedy::{greedy_mk_resumable, GreedySnapshot};
+use crate::greedy::{greedy_mk_observed, GreedySnapshot};
+use crate::obs::{SessionObserver, NOOP};
 use crate::options::{AlignmentMode, TuningOptions};
 use dta_physical::{Configuration, PhysicalStructure, RangePartitioning, SizingInfo};
 use std::collections::BTreeMap;
@@ -191,6 +192,23 @@ pub fn enumerate(
     control: &SessionControl,
     resume: Option<EnumerationResume>,
 ) -> EnumerationRun {
+    enumerate_observed(eval, base, pool, sizing, options, control, resume, &NOOP)
+}
+
+/// [`enumerate`] with an attached [`SessionObserver`]: the inner
+/// Greedy(m, k) run reports its two phases as spans. Instrumentation
+/// only — the search and its outcome are byte-identical to [`enumerate`].
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_observed(
+    eval: &CostEvaluator<'_>,
+    base: &Configuration,
+    pool: &[Candidate],
+    sizing: &dyn SizingInfo,
+    options: &TuningOptions,
+    control: &SessionControl,
+    resume: Option<EnumerationResume>,
+    obs: &dyn SessionObserver,
+) -> EnumerationRun {
     // order candidates by observed benefit (helps greedy find good seeds
     // early when the time budget cuts the search short)
     let mut ordered: Vec<&Candidate> = pool.iter().collect();
@@ -267,7 +285,7 @@ pub fn enumerate(
         eval.workload_cost(&cfg).ok()
     };
     let k = structures.len();
-    let run = greedy_mk_resumable(
+    let run = greedy_mk_observed(
         &structures,
         base_cost,
         options.greedy_m,
@@ -276,6 +294,7 @@ pub fn enumerate(
         &eval_fn,
         control,
         snapshot,
+        obs,
     );
 
     // snapshot the tally at the cut BEFORE assembling the best-so-far

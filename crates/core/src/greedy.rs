@@ -37,6 +37,7 @@
 
 use crate::control::{SessionControl, StopReason};
 use crate::det;
+use crate::obs::{SessionObserver, Span, SpanName, NOOP};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -316,6 +317,26 @@ pub fn greedy_mk_resumable<S: Clone + Sync>(
     control: &SessionControl,
     resume: Option<GreedySnapshot>,
 ) -> GreedyRun<S> {
+    greedy_mk_observed(candidates, base_cost, m, k, workers, eval, control, resume, &NOOP)
+}
+
+/// [`greedy_mk_resumable`] with an attached [`SessionObserver`]: the two
+/// phases are wrapped in `greedyPhase1` / `greedyPhase2` spans so a
+/// recording observer can attribute wall time and evaluation deltas to
+/// each. The spans are pure instrumentation — the search, budget ledger,
+/// and returned outcome are byte-identical to the unobserved call.
+#[allow(clippy::too_many_arguments)] // the session's full budget context
+pub fn greedy_mk_observed<S: Clone + Sync>(
+    candidates: &[S],
+    base_cost: f64,
+    m: usize,
+    k: usize,
+    workers: usize,
+    eval: &EvalFn<'_, S>,
+    control: &SessionControl,
+    resume: Option<GreedySnapshot>,
+    obs: &dyn SessionObserver,
+) -> GreedyRun<S> {
     let restarts = AtomicUsize::new(0);
     let cancel_stop = || control.is_cancelled();
     let mut snap = resume.unwrap_or_else(|| GreedySnapshot::fresh(base_cost));
@@ -356,6 +377,7 @@ pub fn greedy_mk_resumable<S: Clone + Sync>(
     let interrupted = 'search: {
         // Phase 1: exhaustive over subsets of size 1..=m.
         if let GreedyCursor::Phase1 { mut next, mut round_best } = snap.cursor.clone() {
+            let _p1_span = Span::enter(obs, SpanName::GreedyPhase1);
             let subsets = subsets_up_to(candidates.len(), m);
             let eval_subset = |pos: usize| -> Option<f64> {
                 let refs: Vec<&S> = subsets[pos].iter().map(|&i| &candidates[i]).collect();
@@ -382,6 +404,7 @@ pub fn greedy_mk_resumable<S: Clone + Sync>(
         }
 
         // Phase 2: greedy extension up to k, one winner per round.
+        let _p2_span = Span::enter(obs, SpanName::GreedyPhase2);
         loop {
             if snap.best_set.len() >= k.max(m) {
                 break 'search None;

@@ -27,14 +27,20 @@ pub mod enumeration;
 pub mod greedy;
 pub mod invariants;
 pub mod merging;
+pub mod obs;
 pub mod options;
 pub mod report;
 pub mod session;
 
 pub use checkpoint::{SessionCheckpoint, StatsProgress};
 pub use control::{CancelHandle, Completion, SessionControl, Stage, StopReason};
+pub use obs::{
+    Counter, CounterSet, NoopObserver, ObserverSummary, RecordingObserver, SessionObserver,
+    ShardSnapshot, SpanName,
+};
 pub use options::{AlignmentMode, FeatureSet, TuningOptions};
 pub use report::{EvaluationReport, StatementReport, TuningResult};
 pub use session::{
-    evaluate_configuration, tune, tune_resume, tune_with_control, workload_cost, TuneError,
+    evaluate_configuration, tune, tune_resume, tune_with_control, tune_with_observer,
+    workload_cost, TuneError,
 };

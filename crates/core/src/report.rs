@@ -2,6 +2,7 @@
 
 use crate::checkpoint::SessionCheckpoint;
 use crate::control::Completion;
+use crate::obs::ObserverSummary;
 use dta_physical::Configuration;
 use std::fmt;
 
@@ -60,6 +61,11 @@ pub struct TuningResult {
     /// Session checkpoint for [`crate::tune_resume`], present only when
     /// the budget ran out (`Completion::BudgetExhausted`).
     pub checkpoint: Option<Box<SessionCheckpoint>>,
+    /// Aggregated observer trace (stage spans, counters, per-shard cache
+    /// statistics), present when the session ran under a recording
+    /// observer ([`crate::tune_with_observer`]). Wall times inside are
+    /// report-only; every other field is deterministic.
+    pub observer: Option<ObserverSummary>,
 }
 
 impl TuningResult {
@@ -135,6 +141,14 @@ pub struct StatementReport {
     pub proposed_cost: f64,
     /// Structures the proposed plan uses.
     pub used_structures: Vec<String>,
+    /// What-if optimizer calls issued for this statement (including
+    /// retried attempts).
+    pub whatif_calls: usize,
+    /// Transient faults absorbed by retry while pricing this statement.
+    pub retries: usize,
+    /// Whether a permanent fault degraded this statement to its
+    /// fallback cost.
+    pub degraded: bool,
 }
 
 impl StatementReport {
@@ -189,9 +203,16 @@ impl fmt::Display for EvaluationReport {
             self.change_percent()
         )?;
         for s in &self.statements {
+            let mut marks = String::new();
+            if s.retries > 0 {
+                marks.push_str(&format!(" [retried x{}]", s.retries));
+            }
+            if s.degraded {
+                marks.push_str(" [degraded]");
+            }
             writeln!(
                 f,
-                "  [{:+7.1}%] w={:<6} {}",
+                "  [{:+7.1}%] w={:<6} {}{marks}",
                 s.change_percent(),
                 s.weight,
                 truncate(&s.sql, 80)
@@ -245,6 +266,7 @@ mod tests {
             retry_backoff_units: 0,
             degraded_statements: Vec::new(),
             checkpoint: None,
+            observer: None,
         }
     }
 
@@ -298,6 +320,9 @@ mod tests {
                     current_cost: 100.0,
                     proposed_cost: 40.0,
                     used_structures: vec!["idx_t_a".into()],
+                    whatif_calls: 2,
+                    retries: 0,
+                    degraded: false,
                 },
                 StatementReport {
                     database: "d".into(),
@@ -306,6 +331,9 @@ mod tests {
                     current_cost: 100.0,
                     proposed_cost: 120.0,
                     used_structures: vec!["idx_t_a".into(), "mv_x".into()],
+                    whatif_calls: 5,
+                    retries: 3,
+                    degraded: true,
                 },
             ],
             current_total: 200.0,
@@ -317,5 +345,7 @@ mod tests {
         assert_eq!(usage, vec![("idx_t_a".to_string(), 2), ("mv_x".to_string(), 1)]);
         let text = rep.to_string();
         assert!(text.contains("-20.0%"));
+        assert!(text.contains("[retried x3]"), "{text}");
+        assert!(text.contains("[degraded]"), "{text}");
     }
 }

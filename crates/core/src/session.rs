@@ -8,8 +8,9 @@ use crate::checkpoint::{SessionCheckpoint, StatsProgress};
 use crate::colgroups::interesting_column_groups;
 use crate::control::{Completion, SessionControl, Stage, StopReason};
 use crate::cost::CostEvaluator;
-use crate::enumeration::{enumerate, EnumerationResult, EnumerationResume};
+use crate::enumeration::{enumerate_observed, EnumerationResult, EnumerationResume};
 use crate::merging::merge_candidates;
+use crate::obs::{Counter, SessionObserver, Span, SpanName, NOOP};
 use crate::options::TuningOptions;
 use crate::report::{EvaluationReport, StatementReport, TuningResult};
 use dta_physical::Configuration;
@@ -17,6 +18,7 @@ use dta_server::{ServerError, TuningTarget};
 use dta_stats::StatKey;
 use dta_workload::{compress, Workload};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Errors from a tuning session.
 #[derive(Debug)]
@@ -86,11 +88,26 @@ pub fn tune(
     workload: &Workload,
     options: &TuningOptions,
 ) -> Result<TuningResult, TuneError> {
+    tune_with_observer(target, workload, options, &NOOP)
+}
+
+/// [`tune`] with a trace sink (DESIGN.md §10): `obs` receives stage
+/// spans, events, and per-shard cache statistics, and its
+/// [`SessionObserver::summary`] lands in [`TuningResult::observer`].
+/// The recommendation is byte-identical to an unobserved run — the
+/// observer only reads the deterministic counters; wall-clock time
+/// never flows back into the search.
+pub fn tune_with_observer(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    options: &TuningOptions,
+    obs: &dyn SessionObserver,
+) -> Result<TuningResult, TuneError> {
     let control = match options.work_budget_units {
         Some(units) => SessionControl::with_budget(units),
         None => SessionControl::unlimited(),
     };
-    tune_with_control(target, workload, options, &control)
+    tune_session(target, workload, options, &control, obs)
 }
 
 /// Run a tuning session under an externally owned [`SessionControl`] —
@@ -103,7 +120,17 @@ pub fn tune_with_control(
     options: &TuningOptions,
     control: &SessionControl,
 ) -> Result<TuningResult, TuneError> {
-    // §5.1 workload compression
+    tune_session(target, workload, options, control, &NOOP)
+}
+
+/// Shared front door: §5.1 workload compression, then the pipeline.
+fn tune_session(
+    target: &TuningTarget<'_>,
+    workload: &Workload,
+    options: &TuningOptions,
+    control: &SessionControl,
+    obs: &dyn SessionObserver,
+) -> Result<TuningResult, TuneError> {
     let (tuned_workload, _partitions) = if options.compress {
         let out = compress(workload, options.compression);
         (out.compressed, out.partitions)
@@ -118,6 +145,7 @@ pub fn tune_with_control(
         workload.len(),
         workload.total_events(),
         None,
+        obs,
     )
 }
 
@@ -143,6 +171,7 @@ pub fn tune_resume(
         checkpoint.total_statements,
         checkpoint.total_events,
         Some(checkpoint),
+        &NOOP,
     )
 }
 
@@ -157,6 +186,7 @@ pub fn tune_resume(
 /// count. On exhaustion, the checkpoint is captured *before* the
 /// epilogue prices the best-so-far report, keeping report-only work out
 /// of the resumed session's ledger.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     target: &TuningTarget<'_>,
     options: &TuningOptions,
@@ -165,7 +195,9 @@ fn run_session(
     total_statements: usize,
     total_events: f64,
     resume: Option<&SessionCheckpoint>,
+    obs: &dyn SessionObserver,
 ) -> Result<TuningResult, TuneError> {
+    obs.attach_counters(control.counters());
     let whatif_server = target.whatif_server();
     let overhead_start = whatif_server.overhead_units();
     let prior_work_units = resume.map_or(0.0, |c| c.tuning_work_units);
@@ -186,8 +218,10 @@ fn run_session(
 
     // ONE shared, thread-safe evaluator serves the whole session:
     // pre-cost estimation, candidate selection, and enumeration all hit
-    // the same cache, and its miss counter is the session's what-if tally
-    let eval = CostEvaluator::new(target, items);
+    // the same cache, and its miss counter is the session's what-if
+    // tally; it shares the control's counter set so observer telemetry
+    // has a single source of truth
+    let eval = CostEvaluator::with_counters(target, items, Arc::clone(control.counters()));
     if let Some(cp) = resume {
         eval.import_cache(&cp.cache, cp.whatif_calls);
         eval.restore_fault_state(cp.whatif_retries, cp.retry_backoff_units, &cp.degraded);
@@ -208,6 +242,7 @@ fn run_session(
     let cut: Option<(StopReason, Stage)> = 'pipeline: {
         // preliminary base costs (pre-statistics) for column-group
         // weighting — one budget unit per statement
+        let pre_span = Span::enter(obs, SpanName::PreCosting);
         while pre_costs.len() < items.len() {
             if let Some(reason) = control.stop() {
                 break 'pipeline Some((reason, Stage::PreCosting));
@@ -230,17 +265,20 @@ fn run_session(
         // the pre-statistics base costs double as the per-item fallbacks
         // a permanent fault degrades a statement to
         eval.set_fallbacks(pre_costs.clone());
+        drop(pre_span);
 
         // §2.2 column-group restriction (pure computation; poll-only)
         if let Some(reason) = control.stop() {
             break 'pipeline Some((reason, Stage::ColumnGroups));
         }
+        let cg_span = Span::enter(obs, SpanName::ColumnGroups);
         let groups = interesting_column_groups(
             target.catalog(),
             items,
             &pre_costs,
             options.colgroup_cost_threshold,
         );
+        drop(cg_span);
 
         // §5.2 statistics for the interesting groups (histograms come
         // from singleton groups; densities from the multi-column ones).
@@ -251,6 +289,7 @@ fn run_session(
             if let Some(reason) = control.stop() {
                 break 'pipeline Some((reason, Stage::Statistics));
             }
+            let _stats_span = Span::enter(obs, SpanName::Statistics);
             let mut required: Vec<StatKey> = Vec::new();
             let mut table_keys: BTreeSet<(String, String)> = BTreeSet::new();
             for item in items.iter() {
@@ -282,10 +321,18 @@ fn run_session(
                 retries: report.retries,
                 backoff_units: report.backoff_units,
             });
+            obs.event(
+                "stats",
+                &format!(
+                    "requested={} created={} failed={} retries={}",
+                    report.requested, report.created, report.failed, report.retries
+                ),
+            );
         }
 
         // §2.2 candidate selection (per query, block-budgeted, possibly
         // parallel within each block)
+        let sel_span = Span::enter(obs, SpanName::CandidateSelection);
         let run =
             select_candidates_resumable(&eval, &base, &groups, options, control, resume_selections);
         let interrupted = run.interrupted;
@@ -293,18 +340,24 @@ fn run_session(
         if let Some(reason) = interrupted {
             break 'pipeline Some((reason, Stage::CandidateSelection));
         }
+        drop(sel_span);
         let mut pool = assemble_pool(selections.as_deref().unwrap_or(&[]));
+        control.counters().raise(Counter::PeakPoolSize, pool.candidates.len() as u64);
 
         // §2.2 merging (pure; poll-only)
         if let Some(reason) = control.stop() {
             break 'pipeline Some((reason, Stage::Merging));
         }
+        let merge_span = Span::enter(obs, SpanName::Merging);
         merge_candidates(&mut pool);
         candidates_selected = pool.candidates.len();
+        drop(merge_span);
+        obs.event("pool", &format!("generated={} merged={candidates_selected}", pool.generated));
 
         // §2.2/§4 enumeration — shares the selection phase's cache and
         // charges one budget unit per configuration evaluation
-        let erun = enumerate(
+        let enum_span = Span::enter(obs, SpanName::Enumeration);
+        let erun = enumerate_observed(
             &eval,
             &base,
             &pool.candidates,
@@ -312,12 +365,14 @@ fn run_session(
             options,
             control,
             resume_enumeration,
+            obs,
         );
         enum_result = Some(erun.result);
         if let Some((reason, cursor)) = erun.interrupted {
             enum_cursor = Some(cursor);
             break 'pipeline Some((reason, Stage::Enumeration));
         }
+        drop(enum_span);
         None
     };
 
@@ -357,6 +412,7 @@ fn run_session(
     // respects the storage bound and alignment (enumeration enforces
     // both; earlier cuts return the base configuration), and it is never
     // worse than the raw configuration.
+    let epilogue_span = Span::enter(obs, SpanName::Epilogue);
     let base_cost = crate::control::isolated(control, || eval.workload_cost(&base))
         .unwrap_or_else(|| {
             Err(ServerError::Fault {
@@ -384,6 +440,19 @@ fn run_session(
     let degraded_statements: Vec<String> =
         eval.degraded_items().iter().map(|&i| items[i].statement.to_string()).collect();
 
+    // deterministic candidate telemetry, tallied once at this serial
+    // coordination point (generated/pruned match the report fields)
+    let counters = control.counters();
+    counters.add(Counter::CandidatesGenerated, partial_pool.generated as u64);
+    counters.add(
+        Counter::CandidatesPruned,
+        partial_pool.generated.saturating_sub(candidates_selected) as u64,
+    );
+    counters.raise(Counter::PeakPoolSize, pool_size as u64);
+    drop(epilogue_span);
+    obs.event("completion", &completion.to_string());
+    obs.record_cache_shards(&eval.cache_stats());
+
     Ok(TuningResult {
         recommendation,
         base_cost,
@@ -408,6 +477,7 @@ fn run_session(
         retry_backoff_units: eval.backoff_units() + stats.backoff_units,
         degraded_statements,
         checkpoint,
+        observer: obs.summary(),
     })
 }
 
@@ -440,7 +510,19 @@ pub fn evaluate_configuration(
             current_cost,
             proposed_cost,
             used_structures,
+            whatif_calls: 0,
+            retries: 0,
+            degraded: false,
         });
+    }
+    // per-statement what-if accounting: shards map one-to-one onto
+    // statements, so shard i's tally is statement i's retry history
+    let shard_stats = eval.cache_stats();
+    let degraded = eval.degraded_items();
+    for (i, report) in statements.iter_mut().enumerate() {
+        report.whatif_calls = shard_stats[i].calls as usize;
+        report.retries = shard_stats[i].retries as usize;
+        report.degraded = degraded.binary_search(&i).is_ok();
     }
     Ok(EvaluationReport { statements, current_total, proposed_total })
 }

@@ -78,9 +78,10 @@ pub use dta_xml as xml;
 pub mod prelude {
     pub use dta_catalog::{Catalog, Column, ColumnType, Database, Table, Value};
     pub use dta_core::{
-        evaluate_configuration, tune, tune_resume, tune_with_control, workload_cost, AlignmentMode,
-        CancelHandle, Completion, FeatureSet, SessionCheckpoint, SessionControl, Stage,
-        TuningOptions, TuningResult,
+        evaluate_configuration, tune, tune_resume, tune_with_control, tune_with_observer,
+        workload_cost, AlignmentMode, CancelHandle, Completion, Counter, CounterSet, FeatureSet,
+        NoopObserver, ObserverSummary, RecordingObserver, SessionCheckpoint, SessionControl,
+        SessionObserver, Stage, TuningOptions, TuningResult,
     };
     pub use dta_engine::{Engine, QueryResult};
     pub use dta_optimizer::{HardwareParams, WhatIfOptimizer};

@@ -6,7 +6,7 @@
 //! DTA ranks configurations by optimizer-estimated cost, so any
 //! nondeterminism in iteration order, float tie-breaking, or thread
 //! interleaving silently changes recommendations between runs. This
-//! crate encodes the discipline as machine-checked rules (R1–R7, see
+//! crate encodes the discipline as machine-checked rules (R1–R9, see
 //! [`rules::RULES`]) over a hand-rolled lexer: dependency-free,
 //! offline, and fast enough to gate CI.
 //!

@@ -1,4 +1,4 @@
-//! The rule engine: R1–R7 token-stream pattern rules with per-rule
+//! The rule engine: R1–R9 token-stream pattern rules with per-rule
 //! severity and path scoping, plus the P0 meta-rule validating
 //! suppression pragmas.
 //!
@@ -14,6 +14,8 @@
 //! | R5 `library-unwrap` | panic-free library code; invariants must be written down |
 //! | R6 `relaxed-ordering` | every `Relaxed` atomic is a deliberate, justified choice |
 //! | R7 `library-panic` | the anytime guarantee: no `panic!`/`exit`/`abort` escapes `tune()` |
+//! | R8 `library-print` | observability through the observer layer only: no `println!`/`eprintln!`/`dbg!` in library code |
+//! | R9 `wall-clock` | determinism quarantine: wall-clock reads (`Instant`/`SystemTime`) live only in `dta_core::obs` |
 //!
 //! Rules are deliberately *token-stream* checks over the hand-rolled
 //! lexer — no parser, no type information. Where a rule needs types
@@ -46,7 +48,7 @@ impl Severity {
 /// One lint finding at an exact source position.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`R1`–`R7`, or `P0` for pragma violations).
+    /// Rule id (`R1`–`R9`, or `P0` for pragma violations).
     pub rule: &'static str,
     pub severity: Severity,
     pub path: String,
@@ -118,6 +120,22 @@ pub const RULES: &[RuleSpec] = &[
                   the anytime-tuning layer guarantees no panic escapes tune() — return a \
                   typed error or degrade, and justify deliberate panics with a pragma",
     },
+    RuleSpec {
+        id: "R8",
+        name: "library-print",
+        severity: Severity::Error,
+        summary: "no println!/eprintln!/dbg! in library code of core/server/stats/catalog: \
+                  ad-hoc prints bypass the observer layer and corrupt machine-readable \
+                  output — emit an observer event or return the data",
+    },
+    RuleSpec {
+        id: "R9",
+        name: "wall-clock",
+        severity: Severity::Error,
+        summary: "no Instant/SystemTime in dta-core outside the observer module: wall-clock \
+                  reads on the recommendation path break byte-identical reruns — timings \
+                  belong to dta_core::obs, which quarantines them as report-only",
+    },
 ];
 
 fn spec(id: &str) -> &'static RuleSpec {
@@ -140,6 +158,16 @@ const R5_CRATES: &[&str] = &["core", "optimizer", "catalog"];
 /// DESIGN.md §9 flow through. A panic anywhere here either escapes
 /// `tune()` or silently kills a worker.
 const R7_CRATES: &[&str] = &["core", "server", "stats"];
+/// Crates R8 applies to: the library layers whose output must stay
+/// machine-readable (reports, XML, observer traces). Binaries and the
+/// CLI-facing crates may print.
+const R8_CRATES: &[&str] = &["core", "server", "stats", "catalog"];
+/// Crates R9 applies to: the recommendation-producing core, where any
+/// wall-clock read threatens byte-identical reruns.
+const R9_CRATES: &[&str] = &["core"];
+/// The one module sanctioned to read wall clocks (R9): the observer,
+/// whose timings are quarantined as report-only by construction.
+const R9_SANCTIONED: &[&str] = &["crates/core/src/obs.rs"];
 
 /// Path components that mark a file as outside library code. Files
 /// under these are skipped entirely (fixtures under `tests/` contain
@@ -208,6 +236,12 @@ pub fn check_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
     r6_relaxed_ordering(&info, &code, &mut findings);
     if info.in_crate(R7_CRATES) {
         r7_library_panic(&info, &code, &mut findings);
+    }
+    if info.in_crate(R8_CRATES) {
+        r8_library_print(&info, &code, &mut findings);
+    }
+    if info.in_crate(R9_CRATES) && !R9_SANCTIONED.contains(&info.rel.as_str()) {
+        r9_wall_clock(&info, &code, &mut findings);
     }
 
     // test modules are exempt from every rule
@@ -622,6 +656,53 @@ fn r7_library_panic(info: &PathInfo, code: &[&Token], findings: &mut Vec<Finding
                      even a cancelled or budget-exhausted run must return its \
                      best-so-far recommendation",
                     code[i + 3].text
+                ),
+            );
+        }
+    }
+}
+
+/// R8: `println!` / `eprintln!` / `dbg!` in library code.
+fn r8_library_print(info: &PathInfo, code: &[&Token], findings: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        // macro invocations only, so a function merely *named* println
+        // (there are none, but the lexer cannot know) does not fire
+        if code[i].kind == TokenKind::Ident
+            && matches!(code[i].text.as_str(), "println" | "eprintln" | "dbg")
+            && code.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            push(
+                findings,
+                "R8",
+                info,
+                code[i],
+                format!(
+                    "`{}!` in library code: ad-hoc prints bypass the observer layer and \
+                     corrupt machine-readable output (XML reports, JSON traces) — emit an \
+                     observer event, return the data, or justify a deliberate print with \
+                     a `// dta-lint: allow(R8): <why>` pragma",
+                    code[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// R9: wall-clock reads (`Instant` / `SystemTime`) outside the observer.
+fn r9_wall_clock(info: &PathInfo, code: &[&Token], findings: &mut Vec<Finding>) {
+    for t in code {
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "Instant" | "SystemTime") {
+            push(
+                findings,
+                "R9",
+                info,
+                t,
+                format!(
+                    "`{}` in dta-core outside the observer module: a wall-clock read on \
+                     the recommendation path makes reruns non-reproducible — move the \
+                     timing into dta_core::obs (report-only by construction) or justify \
+                     with a `// dta-lint: allow(R9): <why>` pragma",
+                    t.text
                 ),
             );
         }

@@ -1,0 +1,7 @@
+//! R8 fixture: ad-hoc prints in library code.
+
+pub fn trace(cost: f64) -> f64 {
+    println!("cost = {cost}");
+    eprintln!("still here");
+    dbg!(cost)
+}

@@ -12,6 +12,8 @@ const R4: &str = include_str!("fixtures/fixture_r4.rs");
 const R5: &str = include_str!("fixtures/fixture_r5.rs");
 const R6: &str = include_str!("fixtures/fixture_r6.rs");
 const R7: &str = include_str!("fixtures/fixture_r7.rs");
+const R8: &str = include_str!("fixtures/fixture_r8.rs");
+const R9: &str = include_str!("fixtures/fixture_r9.rs");
 const CLEAN: &str = include_str!("fixtures/fixture_clean.rs");
 
 /// (rule, severity, line, col) projection for position assertions.
@@ -87,6 +89,34 @@ fn r7_library_panic_exact_positions() {
             ("R7", Severity::Error, 5, 9),   // panic!(…)
             ("R7", Severity::Error, 11, 19), // std::process::exit(2)
             ("R7", Severity::Error, 15, 19), // std::process::abort()
+        ],
+        "{found:#?}"
+    );
+}
+
+#[test]
+fn r8_library_print_exact_positions() {
+    let found = lint_source("crates/core/src/fixture_r8.rs", R8);
+    assert_eq!(
+        at(&found),
+        vec![
+            ("R8", Severity::Error, 4, 5), // println!
+            ("R8", Severity::Error, 5, 5), // eprintln!
+            ("R8", Severity::Error, 6, 5), // dbg!
+        ],
+        "{found:#?}"
+    );
+}
+
+#[test]
+fn r9_wall_clock_exact_positions() {
+    let found = lint_source("crates/core/src/fixture_r9.rs", R9);
+    assert_eq!(
+        at(&found),
+        vec![
+            ("R9", Severity::Error, 3, 16), // use std::time::Instant;
+            ("R9", Severity::Error, 6, 19), // Instant::now()
+            ("R9", Severity::Error, 7, 24), // SystemTime::now()
         ],
         "{found:#?}"
     );
@@ -177,6 +207,13 @@ fn rules_scope_by_crate_and_file() {
     // R7 only guards the tune()-reachable crates (core/server/stats)
     assert!(lint_source("crates/sql/src/lex.rs", R7).is_empty());
     assert!(!lint_source("crates/server/src/seeded.rs", R7).is_empty());
+    // R8 guards the library layers; CLI-facing crates may print
+    assert!(lint_source("crates/bench/src/x.rs", R8).is_empty());
+    assert!(!lint_source("crates/catalog/src/seeded.rs", R8).is_empty());
+    // R9 is core-only, and the observer module itself is sanctioned
+    assert!(lint_source("crates/server/src/seeded.rs", R9).is_empty());
+    assert!(lint_source("crates/core/src/obs.rs", R9).is_empty());
+    assert!(!lint_source("crates/core/src/seeded.rs", R9).is_empty());
 }
 
 #[test]
@@ -189,7 +226,7 @@ fn non_library_paths_are_out_of_scope() {
     assert!(!in_scope("crates/core/.hidden/x.rs"));
 }
 
-/// The acceptance gate: seeding any R1–R7 violation into a core path
+/// The acceptance gate: seeding any R1–R9 violation into a core path
 /// must make `dta-lint --deny-warnings` fail (non-zero exit). Exit
 /// status is `LintResult::fails` — the binary maps it 1:1.
 #[test]
@@ -200,6 +237,8 @@ fn any_seeded_violation_fails_the_gate() {
         ("R3", "crates/core/src/seeded.rs", R3),
         ("R4", "crates/core/src/seeded.rs", R4),
         ("R7", "crates/core/src/seeded.rs", R7),
+        ("R8", "crates/core/src/seeded.rs", R8),
+        ("R9", "crates/core/src/seeded.rs", R9),
         ("R5", "crates/core/src/seeded.rs", R5),
         ("R6", "crates/core/src/seeded.rs", R6),
     ];
@@ -213,7 +252,7 @@ fn any_seeded_violation_fails_the_gate() {
         assert!(result.fails(true), "{rule} violation must fail --deny-warnings");
     }
     // the hard-error rules fail even without --deny-warnings
-    for (rule, path, src) in &seeded[..5] {
+    for (rule, path, src) in &seeded[..7] {
         let result = LintResult { findings: lint_source(path, src), suppressed: 0, files: 1 };
         assert!(result.fails(false), "{rule} violation must fail unconditionally");
     }

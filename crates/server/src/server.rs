@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Work units charged per what-if optimizer call, base.
 pub const WHATIF_BASE_UNITS: f64 = 4.0;
@@ -106,6 +107,7 @@ pub struct Server {
     deployed: RwLock<Configuration>,
     hardware: RwLock<HardwareParams>,
     work: WorkCounter,
+    whatif_invocations: AtomicU64,
     rng: Mutex<StdRng>,
     fault: Mutex<Option<FaultState>>,
 }
@@ -121,6 +123,7 @@ impl Server {
             deployed: RwLock::new(Configuration::new()),
             hardware: RwLock::new(HardwareParams::production_default()),
             work: WorkCounter::default(),
+            whatif_invocations: AtomicU64::new(0),
             rng: Mutex::new(StdRng::seed_from_u64(0x5EED)),
             fault: Mutex::new(None),
         }
@@ -243,6 +246,14 @@ impl Server {
         self.work.reset();
     }
 
+    /// What-if optimizer invocations observed at the server, including
+    /// attempts rejected by an injected fault before any work was
+    /// charged. This is the server's own ground-truth tally; the tuning
+    /// layer's counter only sees its cost-cache misses.
+    pub fn whatif_invocations(&self) -> u64 {
+        self.whatif_invocations.load(Ordering::SeqCst)
+    }
+
     fn charge_units(&self, units: f64) {
         // encode scalar units as CPU ops so the counter stays integral
         self.work.cpu((units / dta_storage::work::CPU_OP_WEIGHT) as u64);
@@ -302,6 +313,10 @@ impl Server {
         stmt: &Statement,
         config: &Configuration,
     ) -> Result<Plan, ServerError> {
+        // server-side invocation tally: every arrival counts, including
+        // attempts an injected fault rejects before any work is charged
+        // (the client-side what-if counter only sees cache misses)
+        self.whatif_invocations.fetch_add(1, Ordering::SeqCst);
         // injected faults are decided before work is charged: a failed
         // attempt spends no server work, so a transient schedule that
         // retry absorbs leaves the overhead meter exactly where a
@@ -629,10 +644,14 @@ mod tests {
     fn whatif_charges_overhead() {
         let server = make_server();
         assert_eq!(server.overhead_units(), 0.0);
+        assert_eq!(server.whatif_invocations(), 0);
         let stmt = parse_statement("SELECT price FROM item WHERE cat = 3").unwrap();
         let plan = server.whatif("shop", &stmt, &Configuration::new()).unwrap();
         assert!(plan.cost > 0.0);
         assert!(server.overhead_units() >= WHATIF_BASE_UNITS);
+        assert_eq!(server.whatif_invocations(), 1);
+        server.reset_overhead();
+        assert_eq!(server.whatif_invocations(), 1, "invocation tally survives meter resets");
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod xml;
 
 pub use schema::{
     checkpoint_from_xml, checkpoint_to_xml, configuration_from_xml, configuration_to_xml,
-    options_from_xml, options_to_xml, result_to_xml, workload_from_xml, workload_to_xml,
-    SchemaError,
+    evaluation_to_xml, options_from_xml, options_to_xml, result_to_xml, workload_from_xml,
+    workload_to_xml, SchemaError,
 };
 pub use xml::{parse_document, XmlError, XmlNode, XmlWriter};

@@ -539,9 +539,86 @@ pub fn result_to_xml(result: &TuningResult) -> String {
             ("completion", completion.as_str()),
         ],
     );
+    if let Some(obs) = &result.observer {
+        write_observer(&mut w, obs);
+    }
     w.open("Recommendation");
     write_configuration_into(&mut w, &result.recommendation);
     w.close();
+    w.close();
+    w.finish()
+}
+
+/// Serialize an observer trace: counters and span aggregates. Wall-time
+/// attributes are report-only; every other attribute is deterministic
+/// across reruns and worker counts.
+fn write_observer(w: &mut XmlWriter, obs: &dta_core::ObserverSummary) {
+    let dropped = obs.dropped_events.to_string();
+    w.open_with("Observer", &[("droppedEvents", dropped.as_str())]);
+    for (name, value) in &obs.counters {
+        let value = value.to_string();
+        w.leaf("Counter", &[("name", name.as_str()), ("value", value.as_str())]);
+    }
+    for span in &obs.spans {
+        let enters = span.enters.to_string();
+        let wall = span.wall_nanos.to_string();
+        let calls = span.whatif_calls.to_string();
+        let work = span.work_units.to_string();
+        w.leaf(
+            "Span",
+            &[
+                ("path", span.path.as_str()),
+                ("enters", enters.as_str()),
+                ("wallNanos", wall.as_str()),
+                ("whatifCalls", calls.as_str()),
+                ("workUnits", work.as_str()),
+            ],
+        );
+    }
+    w.close();
+}
+
+/// Serialize an exploratory-analysis evaluation (§6.3) with the
+/// per-statement what-if call / retry / degradation telemetry, so a
+/// `FaultPolicy` run's report shows which statements rode out faults.
+pub fn evaluation_to_xml(report: &dta_core::EvaluationReport) -> String {
+    let mut w = XmlWriter::new();
+    let current = format!("{:.3}", report.current_total);
+    let proposed = format!("{:.3}", report.proposed_total);
+    let change = format!("{:.4}", report.change_percent());
+    w.open_with(
+        "DTAEvaluation",
+        &[
+            ("currentCost", current.as_str()),
+            ("proposedCost", proposed.as_str()),
+            ("changePercent", change.as_str()),
+        ],
+    );
+    for s in &report.statements {
+        let weight = s.weight.to_string();
+        let cur = format!("{:.3}", s.current_cost);
+        let prop = format!("{:.3}", s.proposed_cost);
+        let calls = s.whatif_calls.to_string();
+        let retries = s.retries.to_string();
+        let degraded = if s.degraded { "true" } else { "false" };
+        w.open_with(
+            "Statement",
+            &[
+                ("database", s.database.as_str()),
+                ("weight", weight.as_str()),
+                ("currentCost", cur.as_str()),
+                ("proposedCost", prop.as_str()),
+                ("whatifCalls", calls.as_str()),
+                ("retries", retries.as_str()),
+                ("degraded", degraded),
+            ],
+        );
+        w.text_element("Sql", &[], &s.sql);
+        for name in &s.used_structures {
+            w.text_element("Uses", &[], name);
+        }
+        w.close();
+    }
     w.close();
     w.finish()
 }
@@ -967,11 +1044,66 @@ mod tests {
             retry_backoff_units: 0,
             degraded_statements: Vec::new(),
             checkpoint: None,
+            observer: None,
         };
         let out_xml = result_to_xml(&result);
         assert!(out_xml.contains("completion=\"budgetExhausted:enumeration\""), "{out_xml}");
+        assert!(!out_xml.contains("<Observer"), "no observer section without a summary");
         let recovered = recommendation_from_output(&out_xml).unwrap();
         assert_eq!(recovered, result.recommendation);
+
+        // with an observer trace attached, the output carries the
+        // counters and span aggregates without disturbing feedback
+        let mut traced = result.clone();
+        traced.observer = Some(dta_core::ObserverSummary {
+            counters: vec![("whatifCalls".into(), 10)],
+            spans: vec![dta_core::obs::SpanSummary {
+                path: "enumeration/greedyPhase1".into(),
+                enters: 1,
+                wall_nanos: 12345,
+                whatif_calls: 10,
+                work_units: 20,
+            }],
+            shards: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        });
+        let traced_xml = result_to_xml(&traced);
+        assert!(
+            traced_xml.contains("<Counter name=\"whatifCalls\" value=\"10\"/>"),
+            "{traced_xml}"
+        );
+        assert!(traced_xml.contains("path=\"enumeration/greedyPhase1\""), "{traced_xml}");
+        let recovered = recommendation_from_output(&traced_xml).unwrap();
+        assert_eq!(recovered, result.recommendation);
+    }
+
+    #[test]
+    fn evaluation_report_xml_carries_fault_telemetry() {
+        let report = dta_core::EvaluationReport {
+            statements: vec![dta_core::StatementReport {
+                database: "db".into(),
+                sql: "SELECT a FROM t WHERE x < 1".into(),
+                weight: 2.0,
+                current_cost: 100.0,
+                proposed_cost: 40.0,
+                used_structures: vec!["idx_t_a".into()],
+                whatif_calls: 5,
+                retries: 3,
+                degraded: true,
+            }],
+            current_total: 100.0,
+            proposed_total: 40.0,
+        };
+        let xml = evaluation_to_xml(&report);
+        assert!(xml.contains("whatifCalls=\"5\""), "{xml}");
+        assert!(xml.contains("retries=\"3\""), "{xml}");
+        assert!(xml.contains("degraded=\"true\""), "{xml}");
+        assert!(xml.contains("SELECT a FROM t WHERE x &lt; 1"), "{xml}");
+        assert!(xml.contains("<Uses>idx_t_a</Uses>"), "{xml}");
+        assert!(xml.contains("changePercent=\"-60.0000\""), "{xml}");
+        let parsed = parse_document(&xml).expect("well-formed");
+        assert_eq!(parsed.name, "DTAEvaluation");
     }
 
     fn sample_checkpoint() -> SessionCheckpoint {
